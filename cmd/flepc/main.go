@@ -1,0 +1,126 @@
+// Command flepc is the FLEP source-to-source compiler: it reads a MiniCUDA
+// translation unit, rewrites every __global__ kernel into a preemptable
+// persistent-thread form (temporal, amortized, or spatial — the paper's
+// Figure 4), rewrites host launch sites into runtime-interceptor calls,
+// and prints the transformed source.
+//
+// Usage:
+//
+//	flepc [-mode temporal|naive|spatial] [-kernel name] [-o out.cu] [-report] file.cu
+//	flepc -bench NAME          # transform a built-in benchmark kernel
+//
+// With no file and no -bench, flepc reads from standard input.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"flep/internal/cudalite"
+	"flep/internal/kernels"
+	"flep/internal/transform"
+)
+
+func main() {
+	mode := flag.String("mode", "spatial", "transformation mode: naive, temporal, or spatial")
+	kernel := flag.String("kernel", "", "transform only this kernel (default: all)")
+	out := flag.String("o", "", "output file (default: stdout)")
+	bench := flag.String("bench", "", "transform a built-in benchmark kernel (CFD, NN, PF, PL, MD, SPMV, MM, VA)")
+	report := flag.Bool("report", false, "print per-kernel resource usage and occupancy to stderr")
+	flag.Parse()
+
+	var m transform.Mode
+	switch *mode {
+	case "naive":
+		m = transform.ModeTemporalNaive
+	case "temporal":
+		m = transform.ModeTemporal
+	case "spatial":
+		m = transform.ModeSpatial
+	default:
+		fatalf("unknown mode %q (want naive, temporal, or spatial)", *mode)
+	}
+
+	src, name := readSource(*bench, flag.Args())
+	prog, err := cudalite.Parse(src)
+	if err != nil {
+		fatalf("%s: %v", name, err)
+	}
+
+	var transformed *cudalite.Program
+	if *kernel != "" {
+		transformed, _, err = transform.TransformKernel(prog, *kernel, m)
+		if err == nil {
+			infos := map[string]*transform.KernelInfo{*kernel: {}}
+			transform.TransformHost(transformed, infos)
+		}
+	} else {
+		transformed, _, err = transform.TransformProgram(prog, m)
+	}
+	if err != nil {
+		fatalf("%v", err)
+	}
+
+	if *report {
+		printReport(prog)
+	}
+
+	output := cudalite.Format(transformed)
+	if *out == "" {
+		fmt.Print(output)
+		return
+	}
+	if err := os.WriteFile(*out, []byte(output), 0o644); err != nil {
+		fatalf("%v", err)
+	}
+}
+
+func readSource(bench string, args []string) (src, name string) {
+	if bench != "" {
+		b, err := kernels.ByName(bench)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		return b.Source, bench
+	}
+	if len(args) == 0 {
+		data, err := io.ReadAll(os.Stdin)
+		if err != nil {
+			fatalf("reading stdin: %v", err)
+		}
+		return string(data), "<stdin>"
+	}
+	data, err := os.ReadFile(args[0])
+	if err != nil {
+		fatalf("%v", err)
+	}
+	return string(data), args[0]
+}
+
+func printReport(prog *cudalite.Program) {
+	limits := transform.K40()
+	for _, fn := range prog.Funcs {
+		if fn.Qual != cudalite.QualGlobal {
+			continue
+		}
+		res, err := transform.EstimateResources(prog, fn)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fn.Name, err)
+			continue
+		}
+		occ, err := transform.ComputeOccupancy(limits, res, 256, 0)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", fn.Name, err)
+			continue
+		}
+		fmt.Fprintf(os.Stderr, "%s: regs/thread=%d shared=%dB occupancy=%d CTAs/SM (%d active, limiter %s)\n",
+			fn.Name, res.RegsPerThread, res.StaticSharedBytes, occ.CTAsPerSM, occ.ActiveCTAs, occ.Limiter)
+	}
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flepc: "+format+"\n", args...)
+	os.Exit(1)
+}

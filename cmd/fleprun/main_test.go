@@ -1,0 +1,94 @@
+package main
+
+import (
+	"testing"
+	"time"
+
+	cl "flep/internal/cudalite"
+	"flep/internal/gpu"
+	"flep/internal/hostexec"
+)
+
+const testProgram = `
+__global__ void k(float* a, int* idx, float s, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        a[idx[i] % n] = a[i] * s;
+    }
+}
+
+void run_it(float* a, int* idx, float s, int n) {
+    k<<<(n + 255) / 256, 256>>>(a, idx, s, n);
+}
+`
+
+func compileTest(t *testing.T) *hostexec.Program {
+	t.Helper()
+	p, err := hostexec.Compile(testProgram, gpu.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestParseHostFull(t *testing.T) {
+	p := compileTest(t)
+	proc, err := parseHost(p, "run_it:3:250:async", 128)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Func != "run_it" || proc.Priority != 3 || proc.At != 250*time.Microsecond || !proc.Async {
+		t.Fatalf("proc %+v", proc)
+	}
+	if len(proc.Args) != 4 {
+		t.Fatalf("args = %d", len(proc.Args))
+	}
+	if proc.Args[0].Kind != cl.KPtr || proc.Args[0].P.Buf.Kind != cl.TFloat {
+		t.Fatal("arg 0 should be a float buffer")
+	}
+	if proc.Args[1].Kind != cl.KPtr || proc.Args[1].P.Buf.Kind != cl.TInt {
+		t.Fatal("arg 1 should be an int buffer")
+	}
+	if proc.Args[2].Kind != cl.KFloat {
+		t.Fatal("arg 2 should be a float")
+	}
+	if proc.Args[3].Int() != 128 {
+		t.Fatalf("arg 3 = %v, want n", proc.Args[3])
+	}
+}
+
+func TestParseHostDefaults(t *testing.T) {
+	p := compileTest(t)
+	proc, err := parseHost(p, "run_it", 64)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if proc.Priority != 1 || proc.At != 0 || proc.Async {
+		t.Fatalf("proc %+v", proc)
+	}
+}
+
+func TestParseHostErrors(t *testing.T) {
+	p := compileTest(t)
+	for _, spec := range []string{"nope", "run_it:x", "run_it:1:x", "run_it:1:2:weird", "k"} {
+		if _, err := parseHost(p, spec, 16); err == nil {
+			t.Errorf("spec %q accepted", spec)
+		}
+	}
+}
+
+// The synthesized-args path runs end-to-end.
+func TestFleprunEndToEnd(t *testing.T) {
+	p := compileTest(t)
+	proc, err := parseHost(p, "run_it:1", 512)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := hostexec.Run(p, hostexec.Options{}, proc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Invocations) != 1 || !rep.Invocations[0].Functional {
+		t.Fatalf("invocations %+v", rep.Invocations)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestBuildScenarioPair(t *testing.T) {
+	sc, opt, err := buildScenario("SPMV,NN", "", false, false, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "SPMV_NN" || len(sc.Items) != 2 {
+		t.Fatalf("scenario %+v", sc)
+	}
+	if opt.Policy != "hpf" {
+		t.Fatalf("policy %q", opt.Policy)
+	}
+}
+
+func TestBuildScenarioEqual(t *testing.T) {
+	sc, _, err := buildScenario("VA,NN", "", true, false, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Items[0].Priority != sc.Items[1].Priority {
+		t.Fatal("equal pair priorities differ")
+	}
+}
+
+func TestBuildScenarioTriplet(t *testing.T) {
+	sc, _, err := buildScenario("", "VA,SPMV,MM", false, false, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sc.Name != "VA_SPMV_MM" {
+		t.Fatalf("name %s", sc.Name)
+	}
+}
+
+func TestBuildScenarioFFS(t *testing.T) {
+	sc, opt, err := buildScenario("MM,SPMV", "", false, false, true, 50*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.Policy != "ffs" || opt.MaxOverhead != 0.10 {
+		t.Fatalf("opt %+v", opt)
+	}
+	if sc.Horizon != 50*time.Millisecond {
+		t.Fatalf("horizon %v", sc.Horizon)
+	}
+}
+
+func TestBuildScenarioSpatial(t *testing.T) {
+	_, opt, err := buildScenario("NN,CFD", "", false, true, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !opt.Spatial {
+		t.Fatal("spatial not enabled")
+	}
+}
+
+func TestBuildScenarioErrors(t *testing.T) {
+	cases := []struct {
+		pair, triplet string
+	}{
+		{"", ""},
+		{"SPMV", ""},
+		{"SPMV,NOPE", ""},
+		{"", "VA,SPMV"},
+		{"", "VA,SPMV,NOPE"},
+	}
+	for _, c := range cases {
+		if _, _, err := buildScenario(c.pair, c.triplet, false, false, false, 0); err == nil {
+			t.Errorf("pair=%q triplet=%q: expected error", c.pair, c.triplet)
+		}
+	}
+}

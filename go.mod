@@ -1,0 +1,3 @@
+module flep
+
+go 1.24

@@ -1,0 +1,307 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flep/internal/baselines"
+	"flep/internal/flepruntime"
+	"flep/internal/gpu"
+	"flep/internal/kernels"
+	"flep/internal/metrics"
+	"flep/internal/sim"
+	"flep/internal/trace"
+	"flep/internal/workload"
+)
+
+// Options configure an online run.
+type Options struct {
+	// Policy is "hpf" (default) or "ffs".
+	Policy string
+	// Spatial enables spatial preemption (HPF only).
+	Spatial bool
+	// SpatialSMs overrides how many SMs a spatial preemption yields
+	// (0 = just enough for the guest's CTAs); Figure 16's knob.
+	SpatialSMs int
+	// MaxOverhead is FFS's overhead budget (default 0.10).
+	MaxOverhead float64
+	// Weights maps priority level to FFS share weight.
+	Weights map[int]float64
+	// ShareWindow enables GPU-share sampling at this period (0 = off).
+	ShareWindow time.Duration
+	// Trace collects a full event log when true.
+	Trace bool
+}
+
+// KernelResult is one completed invocation's timing.
+type KernelResult struct {
+	Kernel      string
+	Class       kernels.InputClass
+	Priority    int
+	SubmittedAt time.Duration
+	FinishedAt  time.Duration
+	Waiting     time.Duration
+}
+
+// Turnaround returns waiting plus execution time.
+func (r KernelResult) Turnaround() time.Duration { return r.FinishedAt - r.SubmittedAt }
+
+// RunResult aggregates one scenario execution.
+type RunResult struct {
+	Scenario string
+	// Results holds one entry per completed invocation, completion order.
+	Results []KernelResult
+	// Completions counts finished invocations per kernel (loop clients).
+	Completions map[string]int
+	// Makespan is the time the last invocation finished (or the horizon).
+	Makespan time.Duration
+	// Shares is the GPU-share series (when Options.ShareWindow > 0).
+	Shares []metrics.ShareSample
+	// Log is the event log (when Options.Trace).
+	Log *trace.Log
+}
+
+// ResultFor returns the first completed invocation of the kernel, or nil.
+func (r *RunResult) ResultFor(kernel string) *KernelResult {
+	for i := range r.Results {
+		if r.Results[i].Kernel == kernel {
+			return &r.Results[i]
+		}
+	}
+	return nil
+}
+
+// RunFLEP executes a scenario under the FLEP runtime engine.
+func (s *System) RunFLEP(sc workload.Scenario, opt Options) (*RunResult, error) {
+	eng := sim.New()
+	dev := gpu.New(eng, s.Par)
+	var policy flepruntime.Policy
+	switch opt.Policy {
+	case "", "hpf":
+		policy = flepruntime.NewHPF()
+	case "hpf-naive":
+		h := flepruntime.NewHPF()
+		h.OverheadAware = false
+		policy = h
+	case "ffs":
+		f := flepruntime.NewFFS(opt.MaxOverhead)
+		f.Weights = opt.Weights
+		policy = f
+	default:
+		return nil, fmt.Errorf("core: unknown policy %q", opt.Policy)
+	}
+	res := &RunResult{Scenario: sc.Name, Completions: map[string]int{}}
+	var log *trace.Log
+	if opt.Trace {
+		log = &trace.Log{}
+		dev.Observer = log.DeviceObserver()
+	}
+	var acc *metrics.ShareAccumulator
+	if opt.ShareWindow > 0 {
+		acc = metrics.NewShareAccumulator(opt.ShareWindow)
+		prev := dev.Observer
+		dev.Observer = func(ev gpu.Event) {
+			if prev != nil {
+				prev(ev)
+			}
+			switch ev.Kind {
+			case gpu.EvResident:
+				acc.Observe(ev.Time, ev.Kernel)
+			case gpu.EvComplete, gpu.EvDrained:
+				acc.Observe(ev.Time, "")
+			}
+		}
+	}
+	rt := flepruntime.New(dev, flepruntime.Config{
+		Policy:        policy,
+		EnableSpatial: opt.Spatial,
+		SpatialSMs:    opt.SpatialSMs,
+		OverheadEstimate: func(kernel string) time.Duration {
+			if a := s.arts[kernel]; a != nil {
+				return a.PreemptOverhead
+			}
+			return 0
+		},
+		Log: log,
+	})
+
+	for _, item := range sc.Items {
+		item := item
+		a := s.arts[item.Bench.Name]
+		if a == nil {
+			return nil, fmt.Errorf("core: no artifacts for %s (run Offline first)", item.Bench.Name)
+		}
+		submit := func() {}
+		submit = func() {
+			in := item.Bench.Input(item.Class)
+			if item.TasksOverride > 0 {
+				in.Tasks = item.TasksOverride
+				in.Bytes = int64(in.Tasks) * item.Bench.BytesPerTask
+			}
+			te, _ := s.Predict(item.Bench, in)
+			v := &flepruntime.Invocation{
+				Kernel:   item.Bench.Name,
+				Priority: item.Priority,
+				Profile:  a.Profile,
+				Tasks:    in.Tasks,
+				TaskCost: in.TaskCost,
+				L:        a.L,
+				// The resident footprint is well below the logical
+				// access volume (Bytes) thanks to reuse; /8 puts the
+				// largest benchmark near 3.5 GB, comfortably inside the
+				// K40's 12 GB as the paper assumes (§8).
+				WorkingSet: in.Bytes / 8,
+				Te:         te,
+				OnFinish: func(fv *flepruntime.Invocation) {
+					res.Completions[item.Bench.Name]++
+					res.Results = append(res.Results, KernelResult{
+						Kernel: item.Bench.Name, Class: item.Class,
+						Priority:    item.Priority,
+						SubmittedAt: fv.SubmittedAt(), FinishedAt: fv.FinishedAt(),
+						Waiting: fv.Tw,
+					})
+					if item.Loop && (sc.Horizon == 0 || eng.Now() < sc.Horizon) {
+						submit()
+					}
+				},
+			}
+			if err := rt.Submit(v); err != nil {
+				panic(fmt.Sprintf("core: submit %s: %v", item.Bench.Name, err))
+			}
+		}
+		eng.Schedule(item.At, submit)
+	}
+
+	if sc.Horizon > 0 {
+		eng.RunUntil(sc.Horizon)
+	} else {
+		eng.Run()
+	}
+	res.Makespan = eng.Now()
+	if acc != nil {
+		res.Shares = acc.Samples(eng.Now())
+	}
+	res.Log = log
+	return res, nil
+}
+
+// baselineKind selects the non-FLEP executor for RunBaseline.
+type baselineKind int
+
+// Baseline executors.
+const (
+	// BaselineMPS is the default MPS FIFO co-run.
+	BaselineMPS baselineKind = iota
+	// BaselineReorder is shortest-predicted-first kernel reordering.
+	BaselineReorder
+	// BaselineSliced is kernel slicing (120-CTA sub-kernels by default).
+	BaselineSliced
+)
+
+// RunMPS executes a scenario under the MPS FIFO baseline.
+func (s *System) RunMPS(sc workload.Scenario) (*RunResult, error) {
+	return s.runBaseline(sc, BaselineMPS, 0)
+}
+
+// RunReorder executes a scenario under the kernel-reordering baseline.
+func (s *System) RunReorder(sc workload.Scenario) (*RunResult, error) {
+	return s.runBaseline(sc, BaselineReorder, 0)
+}
+
+// RunSliced executes a scenario under the kernel-slicing baseline with the
+// given sub-kernel size in CTAs (0 picks the paper's 120).
+func (s *System) RunSliced(sc workload.Scenario, sliceTasks int) (*RunResult, error) {
+	if sliceTasks <= 0 {
+		sliceTasks = 120
+	}
+	return s.runBaseline(sc, BaselineSliced, sliceTasks)
+}
+
+func (s *System) runBaseline(sc workload.Scenario, kind baselineKind, sliceTasks int) (*RunResult, error) {
+	eng := sim.New()
+	dev := gpu.New(eng, s.Par)
+	res := &RunResult{Scenario: sc.Name, Completions: map[string]int{}}
+
+	var submitJob func(j *baselines.Job)
+	switch kind {
+	case BaselineMPS:
+		m := baselines.NewMPS(dev)
+		submitJob = m.Submit
+	case BaselineReorder:
+		r := baselines.NewReorder(dev)
+		submitJob = r.Submit
+	case BaselineSliced:
+		sl := baselines.NewSlicer(dev, sliceTasks)
+		submitJob = sl.Submit
+	}
+
+	for _, item := range sc.Items {
+		item := item
+		profile, err := item.Bench.Profile(s.Par.Limits)
+		if err != nil {
+			return nil, err
+		}
+		submit := func() {}
+		submit = func() {
+			in := item.Bench.Input(item.Class)
+			if item.TasksOverride > 0 {
+				in.Tasks = item.TasksOverride
+				in.Bytes = int64(in.Tasks) * item.Bench.BytesPerTask
+			}
+			var predicted time.Duration
+			if a := s.arts[item.Bench.Name]; a != nil {
+				predicted, _ = s.Predict(item.Bench, in)
+			}
+			j := &baselines.Job{
+				Kernel: item.Bench.Name, Priority: item.Priority,
+				Profile: profile, Tasks: in.Tasks, TaskCost: in.TaskCost,
+				Predicted: predicted,
+				OnFinish: func(fj *baselines.Job) {
+					res.Completions[item.Bench.Name]++
+					res.Results = append(res.Results, KernelResult{
+						Kernel: item.Bench.Name, Class: item.Class,
+						Priority:    item.Priority,
+						SubmittedAt: fj.SubmittedAt(), FinishedAt: fj.FinishedAt(),
+						Waiting: fj.Waiting(),
+					})
+					if item.Loop && (sc.Horizon == 0 || eng.Now() < sc.Horizon) {
+						submit()
+					}
+				},
+			}
+			submitJob(j)
+		}
+		eng.Schedule(item.At, submit)
+	}
+
+	if sc.Horizon > 0 {
+		eng.RunUntil(sc.Horizon)
+	} else {
+		eng.Run()
+	}
+	res.Makespan = eng.Now()
+	return res, nil
+}
+
+// KernelRuns converts a run result into metrics.KernelRun records,
+// normalizing each completed invocation by its solo time.
+func (s *System) KernelRuns(sc workload.Scenario, res *RunResult) ([]metrics.KernelRun, error) {
+	classOf := map[string]kernels.InputClass{}
+	benchOf := map[string]*kernels.Benchmark{}
+	for _, item := range sc.Items {
+		classOf[item.Bench.Name] = item.Class
+		benchOf[item.Bench.Name] = item.Bench
+	}
+	var out []metrics.KernelRun
+	for _, r := range res.Results {
+		b := benchOf[r.Kernel]
+		alone, err := s.SoloTime(b, classOf[r.Kernel])
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, metrics.KernelRun{
+			Name: r.Kernel, Alone: alone, Turnaround: r.Turnaround(),
+		})
+	}
+	return out, nil
+}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"flep/internal/kernels"
+	"flep/internal/workload"
+)
+
+func TestKernelRunsNormalization(t *testing.T) {
+	s := testSystem(t)
+	va, _ := kernels.ByName("VA")
+	nn, _ := kernels.ByName("NN")
+	sc := workload.EqualPair(va, nn)
+	res, err := s.RunMPS(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runs, err := s.KernelRuns(sc, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(runs) != 2 {
+		t.Fatalf("runs = %d", len(runs))
+	}
+	for _, r := range runs {
+		if r.Alone <= 0 || r.Turnaround < r.Alone {
+			t.Fatalf("run %+v: turnaround below solo time", r)
+		}
+	}
+}
+
+func TestSoloPersistentSlowerThanOriginal(t *testing.T) {
+	s := testSystem(t)
+	for _, name := range []string{"VA", "CFD"} {
+		b, _ := kernels.ByName(name)
+		a := s.Artifacts(name)
+		orig, err := s.SoloTime(b, kernels.Large)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pers, err := s.SoloPersistentTime(b, kernels.Large, a.L)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if pers <= orig {
+			t.Fatalf("%s: persistent (%v) not slower than original (%v)", name, pers, orig)
+		}
+		overhead := (pers - orig).Seconds() / orig.Seconds()
+		if overhead >= 0.045 {
+			t.Fatalf("%s: overhead %.2f%% above the tuning budget", name, overhead*100)
+		}
+	}
+}
+
+func TestArtifactTransformedSourceValid(t *testing.T) {
+	s := testSystem(t)
+	for _, b := range kernels.All() {
+		a := s.Artifacts(b.Name)
+		if a.Info.Mode.String() != "spatial" {
+			t.Errorf("%s: artifacts built in %v mode, want spatial", b.Name, a.Info.Mode)
+		}
+		if a.Transformed.Kernel(a.Info.Preemptable) == nil {
+			t.Errorf("%s: preemptable kernel missing from transformed program", b.Name)
+		}
+	}
+}
+
+func TestResultForMissing(t *testing.T) {
+	r := &RunResult{}
+	if r.ResultFor("nope") != nil {
+		t.Fatal("ResultFor on empty result")
+	}
+}
+
+func TestTasksOverrideRespected(t *testing.T) {
+	s := testSystem(t)
+	nn, _ := kernels.ByName("NN")
+	cfd, _ := kernels.ByName("CFD")
+	sc := workload.SpatialPair(nn, cfd)
+	sc.Items[1].TasksOverride = 16
+	res, err := s.RunFLEP(sc, Options{Policy: "hpf", Spatial: true, Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// With only 16 CTAs (2 SMs at occupancy 8), the spatial drain must
+	// free exactly 2 SMs.
+	saw := false
+	for _, e := range res.Log.Filter("drained") {
+		if e.Kernel == "CFD" && e.SMHi-e.SMLo == 2 {
+			saw = true
+		}
+	}
+	if !saw {
+		t.Fatal("16-CTA override did not yield a 2-SM spatial drain")
+	}
+}
+
+func TestFigure9StyleDelayBeyondCompletion(t *testing.T) {
+	s := testSystem(t)
+	spmv, _ := kernels.ByName("SPMV")
+	nn, _ := kernels.ByName("NN")
+	nnSolo, err := s.SoloTime(nn, kernels.Large)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// High-priority kernel arrives after the low one already finished:
+	// speedup must be ≈ 1 (nothing to preempt).
+	sc := workload.PriorityPair(spmv, nn, nnSolo+time.Millisecond)
+	mps, err := s.RunMPS(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flep, err := s.RunFLEP(sc, Options{Policy: "hpf"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := mps.ResultFor("SPMV").Turnaround().Seconds() / flep.ResultFor("SPMV").Turnaround().Seconds()
+	if ratio < 0.9 || ratio > 1.15 {
+		t.Fatalf("speedup with idle GPU = %.2f, want ≈1", ratio)
+	}
+}

@@ -1,0 +1,277 @@
+// Package core assembles FLEP: the offline phase (compile each kernel to a
+// preemptable form, tune its amortizing factor, train its duration model,
+// profile its preemption overhead) and the online phase (run co-run
+// scenarios under the FLEP runtime or under the baselines).
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"flep/internal/cudalite"
+	"flep/internal/gpu"
+	"flep/internal/kernels"
+	"flep/internal/perfmodel"
+	"flep/internal/sim"
+	"flep/internal/transform"
+)
+
+// Artifacts is the offline-phase output for one benchmark kernel.
+type Artifacts struct {
+	Bench   *kernels.Benchmark
+	Profile *gpu.KernelProfile
+	// Program and Transformed are the original and FLEP-compiled
+	// MiniCUDA translation units; Info describes the generated kernel.
+	Program     *cudalite.Program
+	Transformed *cudalite.Program
+	Info        *transform.KernelInfo
+	Resources   transform.Resources
+	// L is the tuned amortizing factor; TunedOverhead its measured
+	// single-run overhead; TuneOK whether the 4% constraint was met.
+	L             int
+	TunedOverhead float64
+	TuneOK        bool
+	// Model predicts invocation durations from launch features.
+	Model *perfmodel.Model
+	// PreemptOverhead is the profiled mean preemption overhead (§4.2).
+	PreemptOverhead time.Duration
+}
+
+// System is a FLEP deployment: device parameters plus per-kernel offline
+// artifacts.
+type System struct {
+	Par  gpu.Params
+	arts map[string]*Artifacts
+	solo map[soloKey]time.Duration
+}
+
+type soloKey struct {
+	bench string
+	class kernels.InputClass
+}
+
+// NewSystem builds a system with the given device parameters (use
+// gpu.DefaultParams() for the paper's K40 model).
+func NewSystem(par gpu.Params) *System {
+	return &System{
+		Par:  par,
+		arts: map[string]*Artifacts{},
+		solo: map[soloKey]time.Duration{},
+	}
+}
+
+// Artifacts returns the offline artifacts for a benchmark, or nil before
+// Offline has processed it.
+func (s *System) Artifacts(name string) *Artifacts { return s.arts[name] }
+
+// Offline runs the complete offline phase for the benchmarks: program
+// transformation, amortizing-factor tuning (threshold 4%), performance
+// model training (100 random inputs), and preemption-overhead profiling
+// (50 runs).
+func (s *System) Offline(benchs []*kernels.Benchmark) error {
+	for _, b := range benchs {
+		a, err := s.buildArtifacts(b)
+		if err != nil {
+			return fmt.Errorf("core: offline %s: %w", b.Name, err)
+		}
+		s.arts[b.Name] = a
+	}
+	return nil
+}
+
+// OfflineAll runs Offline for the full benchmark suite.
+func (s *System) OfflineAll() error { return s.Offline(kernels.All()) }
+
+func (s *System) buildArtifacts(b *kernels.Benchmark) (*Artifacts, error) {
+	prog, err := b.Parse()
+	if err != nil {
+		return nil, err
+	}
+	transformed, info, err := transform.TransformKernel(prog, b.KernelName, transform.ModeSpatial)
+	if err != nil {
+		return nil, err
+	}
+	res, err := transform.EstimateResources(prog, prog.Kernel(b.KernelName))
+	if err != nil {
+		return nil, err
+	}
+	profile, err := b.Profile(s.Par.Limits)
+	if err != nil {
+		return nil, err
+	}
+	a := &Artifacts{
+		Bench: b, Profile: profile,
+		Program: prog, Transformed: transformed, Info: info,
+		Resources: res,
+	}
+
+	// Offline tuning: smallest L with single-run overhead under 4%,
+	// measured on the large input (§4.1).
+	large := b.Input(kernels.Large)
+	orig := s.simSolo(profile, large.Tasks, large.TaskCost, execOriginal, 0)
+	a.L, a.TunedOverhead, a.TuneOK = transform.Autotune(func(L int) float64 {
+		t := s.simSolo(profile, large.Tasks, large.TaskCost, execPersistent, L)
+		return (t - orig).Seconds() / orig.Seconds()
+	}, transform.DefaultOverheadThreshold, transform.DefaultMaxAmortize)
+
+	// Performance model: 100 random inputs, linear regression with L2
+	// penalty (§4.2).
+	var samples []perfmodel.Sample
+	for i := 0; i < 100; i++ {
+		scale := float64(i%100+1) / 100
+		in := b.ScaledInput(scale, int64(i))
+		dur := s.simSolo(profile, in.Tasks, in.TaskCost, execOriginal, 0)
+		samples = append(samples, perfmodel.Sample{
+			F:        s.features(b, in),
+			Duration: dur,
+		})
+	}
+	model, err := perfmodel.Train(samples, perfmodel.DefaultLambda)
+	if err != nil {
+		return nil, err
+	}
+	a.Model = model
+
+	// Preemption-overhead profiling: 50 preempt+resume runs at varying
+	// points; the mean is the online estimate (§4.2).
+	var prof perfmodel.OverheadProfile
+	for i := 0; i < perfmodel.DefaultOverheadRuns; i++ {
+		frac := float64(i+1) / float64(perfmodel.DefaultOverheadRuns+1)
+		in := b.ScaledInput(0.05+0.1*frac, int64(1000+i))
+		solo := s.simSolo(profile, in.Tasks, in.TaskCost, execPersistent, a.L)
+		total := s.simPreemptResume(profile, in.Tasks, in.TaskCost, a.L, time.Duration(frac*float64(solo)))
+		if total > solo {
+			prof.Add(total - solo)
+		} else {
+			prof.Add(0)
+		}
+	}
+	a.PreemptOverhead = prof.Mean()
+	return a, nil
+}
+
+// features builds the model features for an input.
+func (s *System) features(b *kernels.Benchmark, in kernels.Input) perfmodel.Features {
+	a := s.arts[b.Name]
+	shared := 0
+	if a != nil {
+		shared = a.Resources.StaticSharedBytes
+	}
+	return perfmodel.Features{
+		GridSize:    float64(in.Tasks),
+		CTASize:     float64(b.ThreadsPerCTA),
+		InputBytes:  float64(in.Bytes),
+		SharedBytes: float64(shared),
+	}
+}
+
+// Predict returns the model's duration estimate for an input.
+func (s *System) Predict(b *kernels.Benchmark, in kernels.Input) (time.Duration, error) {
+	a := s.arts[b.Name]
+	if a == nil {
+		return 0, fmt.Errorf("core: no artifacts for %s (run Offline first)", b.Name)
+	}
+	return a.Model.Predict(s.features(b, in)), nil
+}
+
+type execKind int
+
+const (
+	execOriginal execKind = iota
+	execPersistent
+)
+
+// simSolo measures the solo runtime of one kernel configuration on a fresh
+// simulated device.
+func (s *System) simSolo(profile *gpu.KernelProfile, tasks int, cost time.Duration, kind execKind, L int) time.Duration {
+	eng := sim.New()
+	dev := gpu.New(eng, s.Par)
+	var done time.Duration
+	_, err := dev.Start(gpu.ExecConfig{
+		Profile: profile, TotalTasks: tasks, TaskCost: cost,
+		Persistent: kind == execPersistent, L: L,
+		SMLo: 0, SMHi: dev.NumSMs(),
+		OnComplete: func() { done = eng.Now() },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("core: simSolo: %v", err))
+	}
+	eng.Run()
+	return done
+}
+
+// simPreemptResume measures the elapsed time of a persistent run that is
+// temporally preempted at `at` and resumed as soon as the drain completes.
+func (s *System) simPreemptResume(profile *gpu.KernelProfile, tasks int, cost time.Duration, L int, at time.Duration) time.Duration {
+	eng := sim.New()
+	dev := gpu.New(eng, s.Par)
+	var done time.Duration
+	start := func(doneTasks int, onDrained func(int)) *gpu.Exec {
+		e, err := dev.Start(gpu.ExecConfig{
+			Profile: profile, TotalTasks: tasks, DoneTasks: doneTasks,
+			TaskCost: cost, Persistent: true, L: L,
+			ColdStart: doneTasks > 0,
+			SMLo:      0, SMHi: dev.NumSMs(),
+			OnComplete: func() { done = eng.Now() },
+			OnDrained:  onDrained,
+		})
+		if err != nil {
+			panic(fmt.Sprintf("core: simPreemptResume: %v", err))
+		}
+		return e
+	}
+	var first *gpu.Exec
+	first = start(0, func(rem int) {
+		if rem == 0 {
+			return
+		}
+		start(tasks-rem, nil)
+	})
+	if at > 0 {
+		eng.Schedule(at, func() {
+			if first.State() == gpu.StateRunning || first.State() == gpu.StateLaunching {
+				_ = first.Preempt(dev.NumSMs())
+			}
+		})
+	}
+	eng.Run()
+	return done
+}
+
+// MeasureSolo measures the original kernel's solo runtime for an arbitrary
+// input (used for performance-model evaluation).
+func (s *System) MeasureSolo(b *kernels.Benchmark, in kernels.Input) (time.Duration, error) {
+	profile, err := b.Profile(s.Par.Limits)
+	if err != nil {
+		return 0, err
+	}
+	return s.simSolo(profile, in.Tasks, in.TaskCost, execOriginal, 0), nil
+}
+
+// SoloTime returns (cached) the original kernel's solo runtime for a
+// calibrated input class: the normalization base for ANTT/STP.
+func (s *System) SoloTime(b *kernels.Benchmark, c kernels.InputClass) (time.Duration, error) {
+	key := soloKey{b.Name, c}
+	if d, ok := s.solo[key]; ok {
+		return d, nil
+	}
+	profile, err := b.Profile(s.Par.Limits)
+	if err != nil {
+		return 0, err
+	}
+	in := b.Input(c)
+	d := s.simSolo(profile, in.Tasks, in.TaskCost, execOriginal, 0)
+	s.solo[key] = d
+	return d, nil
+}
+
+// SoloPersistentTime measures the FLEP-transformed kernel's solo runtime at
+// amortizing factor L (Figure 17's FLEP bars).
+func (s *System) SoloPersistentTime(b *kernels.Benchmark, c kernels.InputClass, L int) (time.Duration, error) {
+	profile, err := b.Profile(s.Par.Limits)
+	if err != nil {
+		return 0, err
+	}
+	in := b.Input(c)
+	return s.simSolo(profile, in.Tasks, in.TaskCost, execPersistent, L), nil
+}

@@ -1,0 +1,354 @@
+package cudalite
+
+import (
+	"strings"
+	"testing"
+)
+
+// run1 executes a single-thread kernel over an output buffer and returns it.
+func run1(t *testing.T, src string, out *Buffer, extra ...Value) error {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := NewMachine(prog)
+	args := append([]Value{PtrValue(out, 0)}, extra...)
+	return m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: args})
+}
+
+func TestEvalControlFlow(t *testing.T) {
+	o := NewIntBuffer("o", 4)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int sum = 0;
+    for (int i = 0; i < 10; ++i) {
+        if (i % 2 == 0) {
+            continue;
+        }
+        if (i > 7) {
+            break;
+        }
+        sum += i;
+    }
+    o[0] = sum; // 1+3+5+7 = 16
+    int j = 0;
+    while (true) {
+        j++;
+        if (j >= 5) {
+            break;
+        }
+    }
+    o[1] = j;
+    int outer = 0;
+    for (int a = 0; a < 3; ++a) {
+        for (int b = 0; b < 3; ++b) {
+            if (b == 1) {
+                break;
+            }
+            outer++;
+        }
+    }
+    o[2] = outer; // 3 iterations of inner b==0
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 16 || o.I[1] != 5 || o.I[2] != 3 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalTernaryAndLogic(t *testing.T) {
+	o := NewIntBuffer("o", 5)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int a = 5;
+    o[0] = a > 3 ? 10 : 20;
+    o[1] = a < 3 ? 10 : 20;
+    o[2] = (a > 0 && a < 10) ? 1 : 0;
+    o[3] = (a > 10 || a == 5) ? 1 : 0;
+    o[4] = !false && !(a == 0) ? 7 : 8;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 20, 1, 1, 7}
+	for i := range want {
+		if o.I[i] != want[i] {
+			t.Fatalf("o[%d] = %d, want %d", i, o.I[i], want[i])
+		}
+	}
+}
+
+// Short-circuit must not evaluate the right side (which would trap).
+func TestEvalShortCircuitSkipsTrap(t *testing.T) {
+	o := NewIntBuffer("o", 2)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int zero = 0;
+    if (false && 1 / zero > 0) {
+        o[0] = 1;
+    }
+    if (true || 1 / zero > 0) {
+        o[1] = 1;
+    }
+}
+`, o)
+	if err != nil {
+		t.Fatalf("short circuit evaluated the trap: %v", err)
+	}
+	if o.I[0] != 0 || o.I[1] != 1 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalIncDec(t *testing.T) {
+	o := NewIntBuffer("o", 6)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int a = 5;
+    o[0] = a++;
+    o[1] = a;
+    o[2] = ++a;
+    o[3] = a--;
+    o[4] = --a;
+    o[5] = a;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{5, 6, 7, 7, 5, 5}
+	for i := range want {
+		if o.I[i] != want[i] {
+			t.Fatalf("o[%d] = %d, want %d", i, o.I[i], want[i])
+		}
+	}
+}
+
+func TestEvalIncOnArrayElement(t *testing.T) {
+	o := NewIntBuffer("o", 2)
+	o.I[0] = 10
+	err := run1(t, `
+__global__ void k(int* o) {
+    o[0]++;
+    o[1] = o[0]++;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 12 || o.I[1] != 11 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalBitOps(t *testing.T) {
+	o := NewIntBuffer("o", 6)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int a = 12;
+    int b = 10;
+    o[0] = a & b;
+    o[1] = a | b;
+    o[2] = a ^ b;
+    o[3] = a << 2;
+    o[4] = a >> 1;
+    o[5] = ~a;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{8, 14, 6, 48, 6, -13}
+	for i := range want {
+		if o.I[i] != want[i] {
+			t.Fatalf("o[%d] = %d, want %d", i, o.I[i], want[i])
+		}
+	}
+}
+
+func TestEvalPointerNullCompare(t *testing.T) {
+	o := NewIntBuffer("o", 2)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int* p = NULL;
+    if (p == NULL) {
+        o[0] = 1;
+    }
+    p = o;
+    if (p != NULL) {
+        o[1] = 1;
+    }
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 1 || o.I[1] != 1 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalPointerDifference(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int* p = o + 7;
+    int* q = o + 3;
+    o[0] = p - q;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 4 {
+		t.Fatalf("pointer diff = %d", o.I[0])
+	}
+}
+
+func TestEvalAtomicMaxExch(t *testing.T) {
+	o := NewIntBuffer("o", 3)
+	err := run1(t, `
+__global__ void k(int* o) {
+    atomicMax(&o[0], 7);
+    atomicMax(&o[0], 3);
+    o[1] = atomicExch(&o[2], 42);
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 7 || o.I[1] != 0 || o.I[2] != 42 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalDeviceFunctionRecursionLimit(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `
+__device__ int spin(int x) { return spin(x + 1); }
+__global__ void k(int* o) { o[0] = spin(0); }
+`, o)
+	if err == nil || !strings.Contains(err.Error(), "depth") {
+		t.Fatalf("err = %v, want call depth error", err)
+	}
+}
+
+func TestEvalSharedInDeviceFunction(t *testing.T) {
+	prog := mustParse(t, `
+__device__ void fill(float* dst) {
+    __shared__ float stage[32];
+    stage[threadIdx.x] = (float)threadIdx.x * 2.0;
+    __syncthreads();
+    dst[threadIdx.x] = stage[31 - threadIdx.x];
+}
+__global__ void k(float* out) { fill(out); }
+`)
+	m := NewMachine(prog)
+	out := NewFloatBuffer("out", 32)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(32), Args: []Value{PtrValue(out, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.F {
+		if out.F[i] != float64((31-i)*2) {
+			t.Fatalf("out[%d] = %g", i, out.F[i])
+		}
+	}
+}
+
+func TestEvalCastBoolAndFloat(t *testing.T) {
+	o := NewIntBuffer("o", 3)
+	err := run1(t, `
+__global__ void k(int* o, float x) {
+    bool b = x;
+    o[0] = b ? 1 : 0;
+    bool c = 0.0;
+    o[1] = c ? 1 : 0;
+    o[2] = (int)(x * 2.0);
+}
+`, o, FloatValue(3.25))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 1 || o.I[1] != 0 || o.I[2] != 6 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalModuloByZero(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `__global__ void k(int* o) { int z = 0; o[0] = 5 % z; }`, o)
+	if err == nil || !strings.Contains(err.Error(), "modulo by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalUndefinedIdent(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `__global__ void k(int* o) { o[0] = nothere; }`, o)
+	if err == nil || !strings.Contains(err.Error(), "undefined") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalScopeShadowing(t *testing.T) {
+	o := NewIntBuffer("o", 2)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int x = 1;
+    {
+        int x = 2;
+        o[0] = x;
+    }
+    o[1] = x;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 2 || o.I[1] != 1 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalAddressOfLocalScalarErrors(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `__global__ void k(int* o) { int x = 1; int* p = &x; o[0] = *p; }`, o)
+	if err == nil || !strings.Contains(err.Error(), "register variable") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEvalAddressOfArrayElement(t *testing.T) {
+	o := NewIntBuffer("o", 1)
+	err := run1(t, `
+__global__ void k(int* o) {
+    int arr[4];
+    arr[2] = 9;
+    int* p = &arr[2];
+    o[0] = *p;
+}
+`, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if o.I[0] != 9 {
+		t.Fatalf("o = %v", o.I)
+	}
+}
+
+func TestEvalFloatModulo(t *testing.T) {
+	o := NewFloatBuffer("o", 1)
+	prog := mustParse(t, `__global__ void k(float* o) { o[0] = 7.5 % 2.0; }`)
+	m := NewMachine(prog)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(o, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if o.F[0] != 1.5 {
+		t.Fatalf("o = %v", o.F)
+	}
+}

@@ -1,0 +1,137 @@
+package cudalite
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCallHostBasic(t *testing.T) {
+	prog := mustParse(t, `
+void fill(float* a, int n, float v) {
+    for (int i = 0; i < n; ++i) {
+        a[i] = v;
+    }
+}
+`)
+	m := NewMachine(prog)
+	buf := NewFloatBuffer("a", 8)
+	if err := m.CallHost("fill", []Value{PtrValue(buf, 0), IntValue(8), FloatValue(3.5)}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range buf.F {
+		if v != 3.5 {
+			t.Fatalf("a[%d] = %g", i, v)
+		}
+	}
+}
+
+func TestCallHostHook(t *testing.T) {
+	prog := mustParse(t, `
+void driver(int n) {
+    external_call("hello", n, 2.5);
+}
+`)
+	m := NewMachine(prog)
+	var gotName string
+	var gotArgs []Value
+	m.HostCall = func(name string, args []Value) (Value, bool, error) {
+		if name != "external_call" {
+			return Value{}, false, nil
+		}
+		gotName = args[0].Str()
+		gotArgs = args
+		return Value{}, true, nil
+	}
+	if err := m.CallHost("driver", []Value{IntValue(7)}); err != nil {
+		t.Fatal(err)
+	}
+	if gotName != "hello" || len(gotArgs) != 3 || gotArgs[1].Int() != 7 || gotArgs[2].Float() != 2.5 {
+		t.Fatalf("hook saw %q %v", gotName, gotArgs)
+	}
+}
+
+func TestCallHostHookNotConsultedForDeviceCode(t *testing.T) {
+	prog := mustParse(t, `__global__ void k(int* o) { o[0] = mystery(); }`)
+	m := NewMachine(prog)
+	m.HostCall = func(string, []Value) (Value, bool, error) {
+		return IntValue(99), true, nil
+	}
+	o := NewIntBuffer("o", 1)
+	err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(o, 0)}})
+	if err == nil || !strings.Contains(err.Error(), "undefined function") {
+		t.Fatalf("device code consulted host hook: %v", err)
+	}
+}
+
+func TestCallHostValidation(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void k() { }
+void h(int n) { n = n + 1; }
+`)
+	m := NewMachine(prog)
+	if err := m.CallHost("nope", nil); err == nil {
+		t.Error("unknown function accepted")
+	}
+	if err := m.CallHost("k", nil); err == nil {
+		t.Error("kernel accepted as host function")
+	}
+	if err := m.CallHost("h", nil); err == nil {
+		t.Error("wrong arg count accepted")
+	}
+}
+
+func TestCallHostStringLiteralAllowed(t *testing.T) {
+	prog := mustParse(t, `
+void h() {
+    take("a string");
+}
+`)
+	m := NewMachine(prog)
+	m.HostCall = func(name string, args []Value) (Value, bool, error) {
+		return Value{}, name == "take", nil
+	}
+	if err := m.CallHost("h", nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDim3Builtin(t *testing.T) {
+	prog := mustParse(t, `
+void h(int gx, int gy) {
+    launchlike(dim3(gx, gy), dim3(16, 16), dim3(5));
+}
+`)
+	m := NewMachine(prog)
+	var dims []Dim3
+	m.HostCall = func(name string, args []Value) (Value, bool, error) {
+		if name != "launchlike" {
+			return Value{}, false, nil
+		}
+		for _, a := range args {
+			dims = append(dims, UnpackDim3(a))
+		}
+		return Value{}, true, nil
+	}
+	if err := m.CallHost("h", []Value{IntValue(40), IntValue(30)}); err != nil {
+		t.Fatal(err)
+	}
+	want := []Dim3{{40, 30, 1}, {16, 16, 1}, {5, 1, 1}}
+	for i := range want {
+		if dims[i] != want[i] {
+			t.Fatalf("dims = %v, want %v", dims, want)
+		}
+	}
+}
+
+func TestPackUnpackDim3RoundTrip(t *testing.T) {
+	cases := []Dim3{{1, 1, 1}, {1024, 1, 1}, {65535, 65535, 4}, {7, 3, 2}}
+	for _, d := range cases {
+		if got := UnpackDim3(PackDim3(d)); got != d {
+			t.Fatalf("roundtrip %v → %v", d, got)
+		}
+	}
+	// Plain ints decode as 1-D.
+	if got := UnpackDim3(IntValue(300)); got != (Dim3{300, 1, 1}) {
+		t.Fatalf("plain int decoded as %v", got)
+	}
+}

@@ -1,0 +1,437 @@
+package cudalite
+
+import (
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func mustParse(t *testing.T, src string) *Program {
+	t.Helper()
+	prog, err := Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return prog
+}
+
+func TestInterpVecAdd(t *testing.T) {
+	prog := mustParse(t, vaSrc)
+	m := NewMachine(prog)
+	n := 1000
+	a := NewFloatBuffer("a", n)
+	b := NewFloatBuffer("b", n)
+	c := NewFloatBuffer("c", n)
+	for i := 0; i < n; i++ {
+		a.F[i] = float64(i)
+		b.F[i] = 2 * float64(i)
+	}
+	err := m.Launch("vecadd", LaunchConfig{
+		Grid:  D1((n + 255) / 256),
+		Block: D1(256),
+		Args:  []Value{PtrValue(a, 0), PtrValue(b, 0), PtrValue(c, 0), IntValue(int64(n))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if c.F[i] != 3*float64(i) {
+			t.Fatalf("c[%d] = %g, want %g", i, c.F[i], 3*float64(i))
+		}
+	}
+}
+
+const tiledMMSrc = `
+__global__ void mm(float* a, float* b, float* c, int n) {
+    __shared__ float ta[64];
+    __shared__ float tb[64];
+    int tx = threadIdx.x;
+    int ty = threadIdx.y;
+    int row = blockIdx.y * 8 + ty;
+    int col = blockIdx.x * 8 + tx;
+    float acc = 0.0;
+    for (int t = 0; t < n / 8; ++t) {
+        ta[ty * 8 + tx] = a[row * n + t * 8 + tx];
+        tb[ty * 8 + tx] = b[(t * 8 + ty) * n + col];
+        __syncthreads();
+        for (int k = 0; k < 8; ++k) {
+            acc += ta[ty * 8 + k] * tb[k * 8 + tx];
+        }
+        __syncthreads();
+    }
+    c[row * n + col] = acc;
+}
+`
+
+func TestInterpTiledMatMulMatchesReference(t *testing.T) {
+	prog := mustParse(t, tiledMMSrc)
+	m := NewMachine(prog)
+	n := 16
+	a := NewFloatBuffer("a", n*n)
+	b := NewFloatBuffer("b", n*n)
+	c := NewFloatBuffer("c", n*n)
+	rng := rand.New(rand.NewSource(7))
+	for i := range a.F {
+		a.F[i] = rng.Float64()
+		b.F[i] = rng.Float64()
+	}
+	err := m.Launch("mm", LaunchConfig{
+		Grid:  D2(n/8, n/8),
+		Block: D2(8, 8),
+		Args:  []Value{PtrValue(a, 0), PtrValue(b, 0), PtrValue(c, 0), IntValue(int64(n))},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			var want float64
+			for k := 0; k < n; k++ {
+				want += a.F[i*n+k] * b.F[k*n+j]
+			}
+			if math.Abs(c.F[i*n+j]-want) > 1e-9 {
+				t.Fatalf("c[%d][%d] = %g, want %g", i, j, c.F[i*n+j], want)
+			}
+		}
+	}
+}
+
+func TestInterpAtomicAddExactCount(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void count(int* counter) {
+    atomicAdd(counter, 1);
+}
+`)
+	m := NewMachine(prog)
+	ctr := NewIntBuffer("counter", 1)
+	if err := m.Launch("count", LaunchConfig{Grid: D1(10), Block: D1(64), Args: []Value{PtrValue(ctr, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if ctr.I[0] != 640 {
+		t.Fatalf("counter = %d, want 640", ctr.I[0])
+	}
+}
+
+func TestInterpAtomicAddReturnsOld(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void grab(int* counter, int* slots) {
+    int my = atomicAdd(counter, 1);
+    slots[my] = 1;
+}
+`)
+	m := NewMachine(prog)
+	ctr := NewIntBuffer("counter", 1)
+	slots := NewIntBuffer("slots", 256)
+	if err := m.Launch("grab", LaunchConfig{Grid: D1(4), Block: D1(64), Args: []Value{PtrValue(ctr, 0), PtrValue(slots, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range slots.I {
+		if v != 1 {
+			t.Fatalf("slot %d not claimed exactly once (=%d)", i, v)
+		}
+	}
+}
+
+func TestInterpDeviceFunctionCall(t *testing.T) {
+	prog := mustParse(t, `
+__device__ float square(float x) { return x * x; }
+__global__ void k(float* a, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) { a[i] = square(a[i]); }
+}
+`)
+	m := NewMachine(prog)
+	a := NewFloatBuffer("a", 8)
+	for i := range a.F {
+		a.F[i] = float64(i)
+	}
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(8), Args: []Value{PtrValue(a, 0), IntValue(8)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.F {
+		if a.F[i] != float64(i*i) {
+			t.Fatalf("a[%d] = %g", i, a.F[i])
+		}
+	}
+}
+
+func TestInterpSharedScalarBroadcast(t *testing.T) {
+	// Leader thread stores to a shared scalar; after a barrier every
+	// thread reads it — the FLEP leader-poll pattern.
+	prog := mustParse(t, `
+__global__ void k(int* out) {
+    __shared__ int val;
+    if (threadIdx.x == 0) {
+        val = 42;
+    }
+    __syncthreads();
+    out[blockIdx.x * blockDim.x + threadIdx.x] = val;
+}
+`)
+	m := NewMachine(prog)
+	out := NewIntBuffer("out", 128)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(2), Block: D1(64), Args: []Value{PtrValue(out, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out.I {
+		if v != 42 {
+			t.Fatalf("out[%d] = %d, want 42", i, v)
+		}
+	}
+}
+
+func TestInterpGridStrideLoop(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void scale(float* a, int n) {
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i += gridDim.x * blockDim.x) {
+        a[i] = a[i] * 2.0;
+    }
+}
+`)
+	m := NewMachine(prog)
+	n := 1000
+	a := NewFloatBuffer("a", n)
+	for i := range a.F {
+		a.F[i] = 1
+	}
+	if err := m.Launch("scale", LaunchConfig{Grid: D1(2), Block: D1(32), Args: []Value{PtrValue(a, 0), IntValue(int64(n))}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.F {
+		if a.F[i] != 2 {
+			t.Fatalf("a[%d] = %g", i, a.F[i])
+		}
+	}
+}
+
+func TestInterpSMIDIntrinsic(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void whoami(int* out) {
+    if (threadIdx.x == 0) {
+        out[blockIdx.x] = __smid();
+    }
+}
+`)
+	m := NewMachine(prog)
+	out := NewIntBuffer("out", 30)
+	err := m.Launch("whoami", LaunchConfig{
+		Grid: D1(30), Block: D1(32),
+		Args: []Value{PtrValue(out, 0)},
+		SMID: func(cta int) int { return cta / 2 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for cta, v := range out.I {
+		if v != int64(cta/2) {
+			t.Fatalf("cta %d saw smid %d, want %d", cta, v, cta/2)
+		}
+	}
+}
+
+func TestInterpOutOfBoundsIsError(t *testing.T) {
+	prog := mustParse(t, `__global__ void k(float* a) { a[100] = 1.0; }`)
+	m := NewMachine(prog)
+	a := NewFloatBuffer("a", 10)
+	err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(a, 0)}})
+	if err == nil || !strings.Contains(err.Error(), "out-of-bounds") {
+		t.Fatalf("err = %v, want out-of-bounds", err)
+	}
+}
+
+func TestInterpDivisionByZeroIsError(t *testing.T) {
+	prog := mustParse(t, `__global__ void k(int* a) { a[0] = 1 / a[1]; }`)
+	m := NewMachine(prog)
+	a := NewIntBuffer("a", 2)
+	err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(a, 0)}})
+	if err == nil || !strings.Contains(err.Error(), "division by zero") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpInfiniteLoopHitsBudget(t *testing.T) {
+	prog := mustParse(t, `__global__ void k() { while (1) { } }`)
+	m := NewMachine(prog)
+	m.StepBudget = 10000
+	err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1)})
+	if err == nil || !strings.Contains(err.Error(), "step budget") {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestInterpWrongArgCount(t *testing.T) {
+	prog := mustParse(t, vaSrc)
+	m := NewMachine(prog)
+	err := m.Launch("vecadd", LaunchConfig{Grid: D1(1), Block: D1(1)})
+	if err == nil {
+		t.Fatal("expected arg count error")
+	}
+}
+
+func TestInterpUnknownKernel(t *testing.T) {
+	m := NewMachine(mustParse(t, vaSrc))
+	if err := m.Launch("nope", LaunchConfig{Grid: D1(1), Block: D1(1)}); err == nil {
+		t.Fatal("expected unknown kernel error")
+	}
+}
+
+func TestInterpVolatileReadHook(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void poll(volatile int* flag, int* iters) {
+    while (1) {
+        if (*flag == 1) {
+            return;
+        }
+        iters[0] = iters[0] + 1;
+    }
+}
+`)
+	m := NewMachine(prog)
+	flag := NewIntBuffer("flag", 1)
+	flag.Volatile = true
+	iters := NewIntBuffer("iters", 1)
+	polls := 0
+	m.OnVolatileRead = func(b *Buffer, idx int) {
+		polls++
+		if polls == 5 {
+			b.I[0] = 1
+		}
+	}
+	if err := m.Launch("poll", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(flag, 0), PtrValue(iters, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if iters.I[0] != 4 {
+		t.Fatalf("iterations = %d, want 4 (flag set on 5th poll)", iters.I[0])
+	}
+}
+
+func TestInterpOnCTADoneSequential(t *testing.T) {
+	prog := mustParse(t, `__global__ void k(int* a) { if (threadIdx.x == 0) { a[blockIdx.x] = 1; } }`)
+	m := NewMachine(prog)
+	a := NewIntBuffer("a", 8)
+	var seen []int
+	err := m.Launch("k", LaunchConfig{
+		Grid: D1(8), Block: D1(4),
+		Args:      []Value{PtrValue(a, 0)},
+		OnCTADone: func(cta int) { seen = append(seen, cta) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != 8 {
+		t.Fatalf("OnCTADone fired %d times", len(seen))
+	}
+	for i, v := range seen {
+		if v != i {
+			t.Fatalf("CTA order %v", seen)
+		}
+	}
+}
+
+func TestInterpPointerArithmetic(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void k(float* a) {
+    float* p = a + 3;
+    *p = 7.0;
+    p[1] = 8.0;
+}
+`)
+	m := NewMachine(prog)
+	a := NewFloatBuffer("a", 8)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(a, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	if a.F[3] != 7 || a.F[4] != 8 {
+		t.Fatalf("a = %v", a.F)
+	}
+}
+
+func TestInterpLocalArray(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void k(float* out) {
+    float acc[4];
+    for (int i = 0; i < 4; ++i) { acc[i] = (float)i; }
+    float s = 0.0;
+    for (int i = 0; i < 4; ++i) { s += acc[i]; }
+    out[threadIdx.x] = s;
+}
+`)
+	m := NewMachine(prog)
+	out := NewFloatBuffer("out", 4)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(4), Args: []Value{PtrValue(out, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	for i := range out.F {
+		if out.F[i] != 6 {
+			t.Fatalf("out[%d] = %g, want 6", i, out.F[i])
+		}
+	}
+}
+
+func TestInterpIntTruncation(t *testing.T) {
+	prog := mustParse(t, `__global__ void k(int* out, float x) { out[0] = (int)x; int y = x; out[1] = y; }`)
+	m := NewMachine(prog)
+	out := NewIntBuffer("out", 2)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(out, 0), FloatValue(3.9)}}); err != nil {
+		t.Fatal(err)
+	}
+	if out.I[0] != 3 || out.I[1] != 3 {
+		t.Fatalf("out = %v, want [3 3]", out.I)
+	}
+}
+
+func TestInterpMathBuiltins(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void k(float* o) {
+    o[0] = sqrtf(16.0);
+    o[1] = fmaxf(1.0, 2.0);
+    o[2] = fminf(1.0, 2.0);
+    o[3] = fabsf(-3.5);
+    o[4] = expf(0.0);
+    o[5] = powf(2.0, 10.0);
+    o[6] = (float)min(3, 5);
+    o[7] = (float)max(3, 5);
+}
+`)
+	m := NewMachine(prog)
+	o := NewFloatBuffer("o", 8)
+	if err := m.Launch("k", LaunchConfig{Grid: D1(1), Block: D1(1), Args: []Value{PtrValue(o, 0)}}); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{4, 2, 1, 3.5, 1, 1024, 3, 5}
+	for i := range want {
+		if o.F[i] != want[i] {
+			t.Fatalf("o[%d] = %g, want %g", i, o.F[i], want[i])
+		}
+	}
+}
+
+// Property: a grid-stride sum over random data matches the Go sum.
+func TestPropertyGridStrideSum(t *testing.T) {
+	prog := mustParse(t, `
+__global__ void sum(float* a, float* out, int n) {
+    for (int i = blockIdx.x * blockDim.x + threadIdx.x; i < n; i += gridDim.x * blockDim.x) {
+        atomicAdd(out, a[i]);
+    }
+}
+`)
+	f := func(seed int64, sz uint16) bool {
+		n := int(sz)%500 + 1
+		rng := rand.New(rand.NewSource(seed))
+		m := NewMachine(prog)
+		a := NewFloatBuffer("a", n)
+		var want float64
+		for i := range a.F {
+			a.F[i] = float64(rng.Intn(100)) // integers: exact FP addition
+			want += a.F[i]
+		}
+		out := NewFloatBuffer("out", 1)
+		err := m.Launch("sum", LaunchConfig{Grid: D1(2), Block: D1(16), Args: []Value{PtrValue(a, 0), PtrValue(out, 0), IntValue(int64(n))}})
+		return err == nil && out.F[0] == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,254 @@
+package cudalite
+
+import (
+	"strings"
+	"testing"
+)
+
+const vaSrc = `
+__global__ void vecadd(float* a, float* b, float* c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+`
+
+func TestParseVecAdd(t *testing.T) {
+	prog, err := Parse(vaSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := prog.Kernel("vecadd")
+	if k == nil {
+		t.Fatal("kernel vecadd not found")
+	}
+	if len(k.Params) != 4 {
+		t.Fatalf("params = %d, want 4", len(k.Params))
+	}
+	if !k.Params[0].Type.IsPointer() || k.Params[0].Type.Base != TFloat {
+		t.Fatalf("param 0 type = %v, want float*", k.Params[0].Type)
+	}
+	if k.Params[3].Type.IsPointer() || k.Params[3].Type.Base != TInt {
+		t.Fatalf("param 3 type = %v, want int", k.Params[3].Type)
+	}
+	if len(k.Body.Stmts) != 2 {
+		t.Fatalf("body stmts = %d, want 2", len(k.Body.Stmts))
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	f, err := ParseKernel("void f() { int x = 1 + 2 * 3; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := f.Body.Stmts[0].(*DeclStmt)
+	bin, ok := decl.Decls[0].Init.(*Binary)
+	if !ok || bin.Op != OpAdd {
+		t.Fatalf("top op = %v, want +", decl.Decls[0].Init)
+	}
+	r, ok := bin.R.(*Binary)
+	if !ok || r.Op != OpMul {
+		t.Fatalf("right op not *: %v", bin.R)
+	}
+}
+
+func TestParseRightAssocAssign(t *testing.T) {
+	f, err := ParseKernel("void f(int* p) { int a; int b; a = b = p[0]; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	es := f.Body.Stmts[2].(*ExprStmt)
+	outer := es.X.(*Assign)
+	if _, ok := outer.R.(*Assign); !ok {
+		t.Fatalf("assignment not right-associative: %T", outer.R)
+	}
+}
+
+func TestParseTernary(t *testing.T) {
+	f, err := ParseKernel("void f(int a) { int b = a > 0 ? a : -a; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	decl := f.Body.Stmts[0].(*DeclStmt)
+	if _, ok := decl.Decls[0].Init.(*Cond); !ok {
+		t.Fatalf("init = %T, want *Cond", decl.Decls[0].Init)
+	}
+}
+
+func TestParseForLoop(t *testing.T) {
+	f, err := ParseKernel("void f(int n) { for (int i = 0; i < n; ++i) { n += i; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs, ok := f.Body.Stmts[0].(*ForStmt)
+	if !ok {
+		t.Fatalf("stmt = %T, want *ForStmt", f.Body.Stmts[0])
+	}
+	if fs.Init == nil || fs.Cond == nil || fs.Post == nil {
+		t.Fatal("for components missing")
+	}
+}
+
+func TestParseForEmptyClauses(t *testing.T) {
+	f, err := ParseKernel("void f() { for (;;) { break; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fs := f.Body.Stmts[0].(*ForStmt)
+	if fs.Init != nil || fs.Cond != nil || fs.Post != nil {
+		t.Fatal("expected all-nil for clauses")
+	}
+}
+
+func TestParseWhileOne(t *testing.T) {
+	f, err := ParseKernel("void f(volatile bool* p) { while (1) { if (*p == true) return; } }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws, ok := f.Body.Stmts[0].(*WhileStmt)
+	if !ok {
+		t.Fatal("no while statement")
+	}
+	ifs := ws.Body.(*Block).Stmts[0].(*IfStmt)
+	cond := ifs.Cond.(*Binary)
+	if cond.Op != OpEq {
+		t.Fatalf("cond op = %v", cond.Op)
+	}
+	if u, ok := cond.L.(*Unary); !ok || u.Op != OpDeref {
+		t.Fatalf("lhs not deref: %v", cond.L)
+	}
+}
+
+func TestParseLaunchStatement(t *testing.T) {
+	prog, err := Parse(`
+void host(float* a, int n) {
+    vecadd<<<n / 256, 256>>>(a, a, a, n);
+}
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls, ok := prog.Funcs[0].Body.Stmts[0].(*LaunchStmt)
+	if !ok {
+		t.Fatalf("stmt = %T, want *LaunchStmt", prog.Funcs[0].Body.Stmts[0])
+	}
+	if ls.Kernel != "vecadd" || len(ls.Args) != 4 {
+		t.Fatalf("launch = %+v", ls)
+	}
+	if ls.Shmem != nil {
+		t.Fatal("unexpected shmem arg")
+	}
+}
+
+func TestParseLaunchWithShmem(t *testing.T) {
+	prog, err := Parse("void h() { k<<<1, 64, 1024>>>(); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ls := prog.Funcs[0].Body.Stmts[0].(*LaunchStmt)
+	if ls.Shmem == nil {
+		t.Fatal("shmem arg not parsed")
+	}
+}
+
+func TestParseSharedDecl(t *testing.T) {
+	f, err := ParseKernel("__global__ void k() { __shared__ float tile[256]; tile[threadIdx.x] = 0.0; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := f.Body.Stmts[0].(*DeclStmt)
+	if !ds.Shared || ds.Decls[0].ArrayLen == nil {
+		t.Fatalf("shared decl wrong: %+v", ds)
+	}
+}
+
+func TestParseMultiDeclarator(t *testing.T) {
+	f, err := ParseKernel("void f() { int i = 0, j = 1, k; }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds := f.Body.Stmts[0].(*DeclStmt)
+	if len(ds.Decls) != 3 {
+		t.Fatalf("decls = %d, want 3", len(ds.Decls))
+	}
+	if ds.Decls[2].Init != nil {
+		t.Fatal("k should have no initializer")
+	}
+}
+
+func TestParseCastVsParen(t *testing.T) {
+	f, err := ParseKernel("void f(float x) { int a = (int)x; float b = (x); }")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d0 := f.Body.Stmts[0].(*DeclStmt)
+	if _, ok := d0.Decls[0].Init.(*Cast); !ok {
+		t.Fatalf("(int)x parsed as %T", d0.Decls[0].Init)
+	}
+	d1 := f.Body.Stmts[1].(*DeclStmt)
+	if _, ok := d1.Decls[0].Init.(*Paren); !ok {
+		t.Fatalf("(x) parsed as %T", d1.Decls[0].Init)
+	}
+}
+
+func TestParseDeviceFunction(t *testing.T) {
+	prog, err := Parse(`
+__device__ float sq(float x) { return x * x; }
+__global__ void k(float* a) { a[0] = sq(a[0]); }
+`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prog.Func("sq").Qual != QualDevice {
+		t.Fatal("sq not __device__")
+	}
+	if prog.Kernel("sq") != nil {
+		t.Fatal("Kernel() should not return device functions")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []string{
+		"void f( { }",
+		"void f() { int; }",
+		"void f() { 1 = 2; }",
+		"void f() { if (1 { } }",
+		"void f() { a[1; }",
+		"void f() { return 1 }",
+		"void { }",
+		"void f() {",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse(%q): expected error", src)
+		}
+	}
+}
+
+func TestParseErrorHasPosition(t *testing.T) {
+	_, err := Parse("void f() {\n  int = 3;\n}")
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if !strings.Contains(err.Error(), "2:") {
+		t.Fatalf("error lacks line 2 position: %v", err)
+	}
+}
+
+func TestParseAssignToNonLValue(t *testing.T) {
+	_, err := Parse("void f(int a) { a + 1 = 2; }")
+	if err == nil {
+		t.Fatal("expected lvalue error")
+	}
+	if !strings.Contains(err.Error(), "assignable") {
+		t.Fatalf("unexpected error %v", err)
+	}
+}
+
+func TestParseKernelRejectsMulti(t *testing.T) {
+	_, err := ParseKernel("void f() { } void g() { }")
+	if err == nil {
+		t.Fatal("expected error for two functions")
+	}
+}

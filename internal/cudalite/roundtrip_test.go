@@ -1,0 +1,143 @@
+package cudalite
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// astGen builds random, well-formed MiniCUDA programs to property-test the
+// printer/parser round trip: Format(p) must re-parse, and printing the
+// re-parsed tree must be a fixed point.
+type astGen struct {
+	rng   *rand.Rand
+	names []string // in-scope variable names
+	depth int
+}
+
+func (g *astGen) pick(ss []string) string { return ss[g.rng.Intn(len(ss))] }
+
+func (g *astGen) expr() Expr {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 4 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(8) {
+	case 0, 1:
+		return g.leaf()
+	case 2:
+		ops := []Op{OpAdd, OpSub, OpMul, OpDiv, OpLt, OpGt, OpLe, OpGe, OpEq, OpNe, OpAnd, OpOr, OpBitAnd, OpBitOr, OpBitXor, OpShl, OpShr, OpRem}
+		return &Binary{Op: ops[g.rng.Intn(len(ops))], L: g.expr(), R: g.expr()}
+	case 3:
+		ops := []Op{OpNeg, OpNot, OpBitNot}
+		return &Unary{Op: ops[g.rng.Intn(len(ops))], X: g.expr()}
+	case 4:
+		return &Cond{C: g.expr(), T: g.expr(), E: g.expr()}
+	case 5:
+		return &Paren{X: g.expr()}
+	case 6:
+		return &Cast{Type: Type{Base: TInt}, X: g.expr()}
+	default:
+		return &Call{Fun: "min", Args: []Expr{g.expr(), g.expr()}}
+	}
+}
+
+func (g *astGen) leaf() Expr {
+	switch g.rng.Intn(4) {
+	case 0:
+		return &IntLit{Val: int64(g.rng.Intn(1000))}
+	case 1:
+		return &FloatLit{Val: float64(g.rng.Intn(100)) / 4}
+	case 2:
+		return &BoolLit{Val: g.rng.Intn(2) == 0}
+	default:
+		return &Ident{Name: g.pick(g.names)}
+	}
+}
+
+func (g *astGen) stmt() Stmt {
+	g.depth++
+	defer func() { g.depth-- }()
+	if g.depth > 3 {
+		return &ExprStmt{X: &Assign{Op: OpAssign, L: &Ident{Name: g.pick(g.names)}, R: g.expr()}}
+	}
+	switch g.rng.Intn(6) {
+	case 0:
+		return &ExprStmt{X: &Assign{Op: OpAssign, L: &Ident{Name: g.pick(g.names)}, R: g.expr()}}
+	case 1:
+		st := &IfStmt{Cond: g.expr(), Then: g.block()}
+		if g.rng.Intn(2) == 0 {
+			st.Else = g.block()
+		}
+		return st
+	case 2:
+		return &ForStmt{
+			Init: &DeclStmt{Type: Type{Base: TInt}, Decls: []*Declarator{{Name: "it", Init: &IntLit{Val: 0}}}},
+			Cond: &Binary{Op: OpLt, L: &Ident{Name: "it"}, R: &IntLit{Val: 4}},
+			Post: &Unary{Op: OpPreInc, X: &Ident{Name: "it"}},
+			Body: g.block(),
+		}
+	case 3:
+		return &WhileStmt{Cond: g.expr(), Body: &Block{Stmts: []Stmt{&BreakStmt{}}}}
+	case 4:
+		return &ExprStmt{X: &Assign{Op: OpAddAssign, L: &Ident{Name: g.pick(g.names)}, R: g.expr()}}
+	default:
+		return g.block()
+	}
+}
+
+func (g *astGen) block() *Block {
+	n := g.rng.Intn(3) + 1
+	b := &Block{}
+	for i := 0; i < n; i++ {
+		b.Stmts = append(b.Stmts, g.stmt())
+	}
+	return b
+}
+
+func (g *astGen) program() *Program {
+	fn := &FuncDecl{
+		Qual: QualGlobal,
+		Ret:  Type{Base: TVoid},
+		Name: "k",
+		Params: []*Param{
+			{Type: Type{Base: TInt}, Name: "a"},
+			{Type: Type{Base: TInt}, Name: "b"},
+			{Type: Type{Base: TFloat}, Name: "f"},
+		},
+	}
+	g.names = []string{"a", "b", "f"}
+	fn.Body = g.block()
+	return &Program{Funcs: []*FuncDecl{fn}}
+}
+
+// Property: for random programs, Format output re-parses and printing is a
+// fixed point (Parse∘Format = identity up to formatting).
+func TestPropertyFormatParseFixedPoint(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		g := &astGen{rng: rand.New(rand.NewSource(seed))}
+		prog := g.program()
+		out1 := Format(prog)
+		reparsed, err := Parse(out1)
+		if err != nil {
+			t.Fatalf("seed %d: formatted program does not parse: %v\n%s", seed, err, out1)
+		}
+		out2 := Format(reparsed)
+		if out1 != out2 {
+			t.Fatalf("seed %d: printing not a fixed point:\n--- first\n%s\n--- second\n%s", seed, out1, out2)
+		}
+	}
+}
+
+// Property: the transformed form of a random kernel also round-trips, and
+// cloning it is faithful.
+func TestPropertyCloneFaithful(t *testing.T) {
+	for seed := int64(0); seed < 100; seed++ {
+		g := &astGen{rng: rand.New(rand.NewSource(seed + 1000))}
+		prog := g.program()
+		clone := CloneProgram(prog)
+		if Format(prog) != Format(clone) {
+			t.Fatalf("seed %d: clone differs", seed)
+		}
+	}
+}

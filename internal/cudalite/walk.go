@@ -1,0 +1,252 @@
+package cudalite
+
+// Inspect traverses the subtree rooted at n in depth-first order, calling f
+// for each node. If f returns false for a node, its children are skipped.
+// A nil node is ignored, so callers may pass optional fields directly.
+func Inspect(n Node, f func(Node) bool) {
+	if n == nil || isNilNode(n) {
+		return
+	}
+	if !f(n) {
+		return
+	}
+	switch x := n.(type) {
+	case *FuncDecl:
+		Inspect(x.Body, f)
+	case *Block:
+		for _, s := range x.Stmts {
+			Inspect(s, f)
+		}
+	case *DeclStmt:
+		for _, d := range x.Decls {
+			Inspect(d.ArrayLen, f)
+			Inspect(d.Init, f)
+		}
+	case *ExprStmt:
+		Inspect(x.X, f)
+	case *IfStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Then, f)
+		Inspect(x.Else, f)
+	case *ForStmt:
+		Inspect(x.Init, f)
+		Inspect(x.Cond, f)
+		Inspect(x.Post, f)
+		Inspect(x.Body, f)
+	case *WhileStmt:
+		Inspect(x.Cond, f)
+		Inspect(x.Body, f)
+	case *ReturnStmt:
+		Inspect(x.X, f)
+	case *LaunchStmt:
+		Inspect(x.Grid, f)
+		Inspect(x.Block, f)
+		Inspect(x.Shmem, f)
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Unary:
+		Inspect(x.X, f)
+	case *Postfix:
+		Inspect(x.X, f)
+	case *Binary:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Assign:
+		Inspect(x.L, f)
+		Inspect(x.R, f)
+	case *Cond:
+		Inspect(x.C, f)
+		Inspect(x.T, f)
+		Inspect(x.E, f)
+	case *Call:
+		for _, a := range x.Args {
+			Inspect(a, f)
+		}
+	case *Index:
+		Inspect(x.X, f)
+		Inspect(x.Idx, f)
+	case *Member:
+		Inspect(x.X, f)
+	case *Cast:
+		Inspect(x.X, f)
+	case *Paren:
+		Inspect(x.X, f)
+	}
+}
+
+// isNilNode reports whether n is a typed nil inside the Node interface.
+func isNilNode(n Node) bool {
+	switch x := n.(type) {
+	case *FuncDecl:
+		return x == nil
+	case *Block:
+		return x == nil
+	case *DeclStmt:
+		return x == nil
+	case *ExprStmt:
+		return x == nil
+	case *IfStmt:
+		return x == nil
+	case *ForStmt:
+		return x == nil
+	case *WhileStmt:
+		return x == nil
+	case *ReturnStmt:
+		return x == nil
+	case *BreakStmt:
+		return x == nil
+	case *ContinueStmt:
+		return x == nil
+	case *LaunchStmt:
+		return x == nil
+	case *Ident:
+		return x == nil
+	case *IntLit:
+		return x == nil
+	case *FloatLit:
+		return x == nil
+	case *BoolLit:
+		return x == nil
+	case *NullLit:
+		return x == nil
+	case *StrLit:
+		return x == nil
+	case *Unary:
+		return x == nil
+	case *Postfix:
+		return x == nil
+	case *Binary:
+		return x == nil
+	case *Assign:
+		return x == nil
+	case *Cond:
+		return x == nil
+	case *Call:
+		return x == nil
+	case *Index:
+		return x == nil
+	case *Member:
+		return x == nil
+	case *Cast:
+		return x == nil
+	case *Paren:
+		return x == nil
+	}
+	return false
+}
+
+// CloneProgram deep-copies a program so transforms never alias the input.
+func CloneProgram(p *Program) *Program {
+	out := &Program{}
+	for _, f := range p.Funcs {
+		out.Funcs = append(out.Funcs, CloneFunc(f))
+	}
+	return out
+}
+
+// CloneFunc deep-copies a function declaration.
+func CloneFunc(f *FuncDecl) *FuncDecl {
+	if f == nil {
+		return nil
+	}
+	nf := &FuncDecl{Qual: f.Qual, Ret: f.Ret, Name: f.Name, Pos: f.Pos}
+	for _, p := range f.Params {
+		cp := *p
+		nf.Params = append(nf.Params, &cp)
+	}
+	nf.Body = CloneStmt(f.Body).(*Block)
+	return nf
+}
+
+// CloneStmt deep-copies a statement. Cloning nil returns nil.
+func CloneStmt(s Stmt) Stmt {
+	switch x := s.(type) {
+	case nil:
+		return nil
+	case *Block:
+		if x == nil {
+			return (*Block)(nil)
+		}
+		nb := &Block{Pos: x.Pos}
+		for _, st := range x.Stmts {
+			nb.Stmts = append(nb.Stmts, CloneStmt(st))
+		}
+		return nb
+	case *DeclStmt:
+		nd := &DeclStmt{Shared: x.Shared, Type: x.Type, Pos: x.Pos}
+		for _, d := range x.Decls {
+			nd.Decls = append(nd.Decls, &Declarator{
+				Name: d.Name, ArrayLen: CloneExpr(d.ArrayLen),
+				Init: CloneExpr(d.Init), Pos: d.Pos,
+			})
+		}
+		return nd
+	case *ExprStmt:
+		return &ExprStmt{X: CloneExpr(x.X), Pos: x.Pos}
+	case *IfStmt:
+		return &IfStmt{Cond: CloneExpr(x.Cond), Then: CloneStmt(x.Then), Else: CloneStmt(x.Else), Pos: x.Pos}
+	case *ForStmt:
+		return &ForStmt{Init: CloneStmt(x.Init), Cond: CloneExpr(x.Cond), Post: CloneExpr(x.Post), Body: CloneStmt(x.Body), Pos: x.Pos}
+	case *WhileStmt:
+		return &WhileStmt{Cond: CloneExpr(x.Cond), Body: CloneStmt(x.Body), Pos: x.Pos}
+	case *ReturnStmt:
+		return &ReturnStmt{X: CloneExpr(x.X), Pos: x.Pos}
+	case *BreakStmt:
+		return &BreakStmt{Pos: x.Pos}
+	case *ContinueStmt:
+		return &ContinueStmt{Pos: x.Pos}
+	case *LaunchStmt:
+		nl := &LaunchStmt{Kernel: x.Kernel, Grid: CloneExpr(x.Grid), Block: CloneExpr(x.Block), Shmem: CloneExpr(x.Shmem), Pos: x.Pos}
+		for _, a := range x.Args {
+			nl.Args = append(nl.Args, CloneExpr(a))
+		}
+		return nl
+	}
+	panic("cudalite: unknown statement type in CloneStmt")
+}
+
+// CloneExpr deep-copies an expression. Cloning nil returns nil.
+func CloneExpr(e Expr) Expr {
+	switch x := e.(type) {
+	case nil:
+		return nil
+	case *Ident:
+		return &Ident{Name: x.Name, Pos: x.Pos}
+	case *IntLit:
+		return &IntLit{Val: x.Val, Pos: x.Pos}
+	case *FloatLit:
+		return &FloatLit{Val: x.Val, Pos: x.Pos}
+	case *BoolLit:
+		return &BoolLit{Val: x.Val, Pos: x.Pos}
+	case *NullLit:
+		return &NullLit{Pos: x.Pos}
+	case *StrLit:
+		return &StrLit{Val: x.Val, Pos: x.Pos}
+	case *Unary:
+		return &Unary{Op: x.Op, X: CloneExpr(x.X), Pos: x.Pos}
+	case *Postfix:
+		return &Postfix{Op: x.Op, X: CloneExpr(x.X), Pos: x.Pos}
+	case *Binary:
+		return &Binary{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R), Pos: x.Pos}
+	case *Assign:
+		return &Assign{Op: x.Op, L: CloneExpr(x.L), R: CloneExpr(x.R), Pos: x.Pos}
+	case *Cond:
+		return &Cond{C: CloneExpr(x.C), T: CloneExpr(x.T), E: CloneExpr(x.E), Pos: x.Pos}
+	case *Call:
+		nc := &Call{Fun: x.Fun, Pos: x.Pos}
+		for _, a := range x.Args {
+			nc.Args = append(nc.Args, CloneExpr(a))
+		}
+		return nc
+	case *Index:
+		return &Index{X: CloneExpr(x.X), Idx: CloneExpr(x.Idx), Pos: x.Pos}
+	case *Member:
+		return &Member{X: CloneExpr(x.X), Name: x.Name, Pos: x.Pos}
+	case *Cast:
+		return &Cast{Type: x.Type, X: CloneExpr(x.X), Pos: x.Pos}
+	case *Paren:
+		return &Paren{X: CloneExpr(x.X), Pos: x.Pos}
+	}
+	panic("cudalite: unknown expression type in CloneExpr")
+}

@@ -1,0 +1,42 @@
+package experiments
+
+import (
+	"flep/internal/kernels"
+	"flep/internal/workload"
+)
+
+// Figure1 regenerates the motivation experiment: the slowdown of the
+// high-priority kernel A (small input) when it must wait for B (large
+// input) under the default MPS co-run, across the 28 pairs.
+// Paper: degradation up to 32.6x.
+func (s *Suite) Figure1() (*Table, error) {
+	t := &Table{
+		ID:      "fig1",
+		Title:   "Slowdown of high-priority kernels under MPS (no preemption)",
+		Columns: []string{"pair", "A-turnaround(us)", "A-alone(us)", "slowdown"},
+	}
+	maxSlow := 0.0
+	sum := 0.0
+	pairs := workload.PriorityPairs()
+	for _, sc := range pairs {
+		res, err := s.Sys.RunMPS(sc)
+		if err != nil {
+			return nil, err
+		}
+		high := sc.Items[1]
+		r := res.ResultFor(high.Bench.Name)
+		alone, err := s.Sys.SoloTime(high.Bench, kernels.Small)
+		if err != nil {
+			return nil, err
+		}
+		slow := r.Turnaround().Seconds() / alone.Seconds()
+		if slow > maxSlow {
+			maxSlow = slow
+		}
+		sum += slow
+		t.AddRow(sc.Name, r.Turnaround(), alone, x(slow))
+	}
+	t.Note("max slowdown %.1fx (paper: up to 32.6x); mean %.1fx over %d pairs",
+		maxSlow, sum/float64(len(pairs)), len(pairs))
+	return t, nil
+}

@@ -1,0 +1,462 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	suiteOnce sync.Once
+	suiteInst *Suite
+	suiteErr  error
+)
+
+func testSuite(t *testing.T) *Suite {
+	t.Helper()
+	suiteOnce.Do(func() { suiteInst, suiteErr = NewSuite() })
+	if suiteErr != nil {
+		t.Fatal(suiteErr)
+	}
+	return suiteInst
+}
+
+// parse helpers for assertions on rendered cells.
+func cellFloat(t *testing.T, cell string) float64 {
+	t.Helper()
+	trimmed := strings.TrimSuffix(strings.TrimSuffix(cell, "%"), "x")
+	v, err := strconv.ParseFloat(trimmed, 64)
+	if err != nil {
+		t.Fatalf("cell %q not numeric: %v", cell, err)
+	}
+	return v
+}
+
+func TestTable1RowsAndFactors(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Table1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d, want 8", len(tab.Rows))
+	}
+	// Column 9 is the tuned L, column 10 the paper L: within 35%.
+	for _, row := range tab.Rows {
+		got := cellFloat(t, row[9])
+		paper := cellFloat(t, row[10])
+		if got < paper*0.65 || got > paper*1.35 {
+			t.Errorf("%s: tuned L %v vs paper %v", row[0], got, paper)
+		}
+	}
+}
+
+func TestFigure1MaxSlowdown(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure1()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 28 {
+		t.Fatalf("pairs = %d, want 28", len(tab.Rows))
+	}
+	maxSlow := 0.0
+	for _, row := range tab.Rows {
+		if v := cellFloat(t, row[3]); v > maxSlow {
+			maxSlow = v
+		}
+		if v := cellFloat(t, row[3]); v < 1 {
+			t.Errorf("%s: slowdown %v < 1", row[0], v)
+		}
+	}
+	// Paper: up to 32.6x.
+	if maxSlow < 25 || maxSlow > 42 {
+		t.Fatalf("max slowdown %.1f, paper reports 32.6x", maxSlow)
+	}
+}
+
+func TestFigure7ErrorShape(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure7()
+	if err != nil {
+		t.Fatal(err)
+	}
+	errs := map[string]float64{}
+	var sum float64
+	for _, row := range tab.Rows {
+		errs[row[0]] = cellFloat(t, row[1])
+		sum += errs[row[0]]
+	}
+	avg := sum / float64(len(tab.Rows))
+	if avg < 4 || avg > 10 {
+		t.Fatalf("average MAPE %.1f%%, paper 6.9%%", avg)
+	}
+	for _, regular := range []string{"NN", "MM", "VA"} {
+		if errs[regular] > 6 {
+			t.Errorf("%s error %.1f%% too high for a regular kernel", regular, errs[regular])
+		}
+	}
+	for name, e := range errs {
+		if name != "SPMV" && e > errs["SPMV"] {
+			t.Errorf("%s error %.1f%% exceeds SPMV's %.1f%%", name, e, errs["SPMV"])
+		}
+	}
+}
+
+func TestFigure8SpeedupRange(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure8()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 28 {
+		t.Fatalf("pairs = %d", len(tab.Rows))
+	}
+	var sum, maxV float64
+	minV := 1e18
+	for _, row := range tab.Rows {
+		v := cellFloat(t, row[3])
+		sum += v
+		if v > maxV {
+			maxV = v
+		}
+		if v < minV {
+			minV = v
+		}
+	}
+	mean := sum / 28
+	// Paper: mean 10.1x, max 24.2x, min 4.1x.
+	if mean < 7 || mean > 17 {
+		t.Fatalf("mean speedup %.1fx vs paper 10.1x", mean)
+	}
+	if maxV < 20 || maxV > 40 {
+		t.Fatalf("max speedup %.1fx vs paper 24.2x", maxV)
+	}
+	if minV < 2.5 || minV > 7 {
+		t.Fatalf("min speedup %.1fx vs paper 4.1x", minV)
+	}
+}
+
+func TestFigure9DecaysToPlateau(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure9()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per pair (7 delay points each): speedup decays toward a plateau at
+	// ≈1. Inside the plateau band small wobbles are fine (preempting a
+	// nearly-finished kernel can briefly cost more than waiting).
+	for i := 0; i+6 < len(tab.Rows); i += 7 {
+		prev := 1e18
+		for j := 0; j < 7; j++ {
+			v := cellFloat(t, tab.Rows[i+j][2])
+			if v > prev*1.05 && v > 1.25 {
+				t.Errorf("pair %s: speedup not decaying: %v after %v", tab.Rows[i][0], v, prev)
+			}
+			prev = v
+		}
+		last := cellFloat(t, tab.Rows[i+6][2])
+		if last < 0.9 || last > 1.4 {
+			t.Errorf("pair %s: plateau %.2f, want ≈1", tab.Rows[i][0], last)
+		}
+	}
+}
+
+func TestFigure10And11(t *testing.T) {
+	s := testSuite(t)
+	tab10, err := s.Figure10()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range tab10.Rows {
+		sum += cellFloat(t, row[3])
+	}
+	mean := sum / float64(len(tab10.Rows))
+	if mean < 5 || mean > 12 {
+		t.Fatalf("ANTT improvement %.1fx vs paper 8x", mean)
+	}
+	tab11, err := s.Figure11()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumDeg float64
+	for _, row := range tab11.Rows {
+		sumDeg += cellFloat(t, row[3])
+	}
+	meanDeg := sumDeg / float64(len(tab11.Rows))
+	if meanDeg < 0.5 || meanDeg > 9 {
+		t.Fatalf("STP degradation %.1f%% vs paper 5.4%%", meanDeg)
+	}
+}
+
+func TestFigure12TripletsAndReordering(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure12()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 28 {
+		t.Fatalf("triplets = %d", len(tab.Rows))
+	}
+	var sumF, sumR, maxF float64
+	for _, row := range tab.Rows {
+		f := cellFloat(t, row[3])
+		r := cellFloat(t, row[5])
+		sumF += f
+		sumR += r
+		if f > maxF {
+			maxF = f
+		}
+	}
+	meanF, meanR := sumF/28, sumR/28
+	if meanF < 4 || meanF > 14 {
+		t.Fatalf("FLEP triplet improvement %.1fx vs paper 6.6x", meanF)
+	}
+	if maxF < 15 {
+		t.Fatalf("max triplet improvement %.1fx vs paper 20.2x", maxF)
+	}
+	// Reordering helps only marginally (paper 2.3%): far below FLEP.
+	if meanR > meanF/3 {
+		t.Fatalf("reordering improvement %.2fx too close to FLEP %.2fx", meanR, meanF)
+	}
+}
+
+func TestFigure13SharesNearWeights(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure13()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumHi, sumLo float64
+	for _, row := range tab.Rows {
+		sumHi += cellFloat(t, row[1])
+		sumLo += cellFloat(t, row[2])
+	}
+	n := float64(len(tab.Rows))
+	hi, lo := sumHi/n, sumLo/n
+	// Paper: ~2/3 and ~1/3 of GPU time.
+	if hi < 52 || hi > 72 {
+		t.Fatalf("high share %.1f%%, want ≈66%%", hi)
+	}
+	if lo < 24 || lo > 42 {
+		t.Fatalf("low share %.1f%%, want ≈33%%", lo)
+	}
+	if hi/lo < 1.4 {
+		t.Fatalf("share ratio %.2f too flat for 2:1 weights", hi/lo)
+	}
+}
+
+func TestFigure14NearBudget(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure14()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, row := range tab.Rows {
+		sum += cellFloat(t, row[3])
+	}
+	mean := sum / float64(len(tab.Rows))
+	// Paper keeps degradation close to the 10% threshold.
+	if mean < 4 || mean > 14 {
+		t.Fatalf("mean degradation %.1f%% with 10%% budget", mean)
+	}
+}
+
+func TestFigure15SpatialReduction(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure15()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tab.Rows) != 8 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var sum, maxV float64
+	for _, row := range tab.Rows {
+		v := cellFloat(t, row[3])
+		sum += v
+		if v > maxV {
+			maxV = v
+		}
+		if v <= 0 {
+			t.Errorf("%s: spatial preemption did not reduce overhead (%.1f%%)", row[0], v)
+		}
+	}
+	mean := sum / 8
+	// Paper: 31% average, up to 41%.
+	if mean < 18 || mean > 45 {
+		t.Fatalf("mean reduction %.1f%% vs paper 31%%", mean)
+	}
+	if maxV < 25 {
+		t.Fatalf("max reduction %.1f%% vs paper 41%%", maxV)
+	}
+}
+
+func TestFigure16BoundedSpeedup(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure16()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var maxSp float64
+	for _, row := range tab.Rows {
+		v := cellFloat(t, row[3])
+		if v > maxSp {
+			maxSp = v
+		}
+		if v < 0.95 {
+			t.Errorf("%s @%s SMs: yielding more SMs slowed the guest (%.2fx)", row[0], row[1], v)
+		}
+	}
+	// Paper: speedup exists but is bounded (≈2.22x max).
+	if maxSp < 1.2 || maxSp > 2.6 {
+		t.Fatalf("max speedup %.2fx vs paper ≈2.22x", maxSp)
+	}
+}
+
+func TestFigure17OverheadComparison(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.Figure17()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sumF, sumS float64
+	for _, row := range tab.Rows {
+		f := cellFloat(t, row[2])
+		sl := cellFloat(t, row[4])
+		sumF += f
+		sumS += sl
+		if f > 4.5 {
+			t.Errorf("%s: FLEP overhead %.1f%% above the 4%% tuning budget", row[0], f)
+		}
+	}
+	meanF, meanS := sumF/8, sumS/8
+	// Paper: FLEP ~2.5%, slicing ~8%.
+	if meanF < 1 || meanF > 4 {
+		t.Fatalf("FLEP mean overhead %.1f%% vs paper 2.5%%", meanF)
+	}
+	if meanS < 5 || meanS > 13 {
+		t.Fatalf("slicing mean overhead %.1f%% vs paper 8%%", meanS)
+	}
+	if meanS < meanF*2 {
+		t.Fatalf("slicing (%.1f%%) not substantially worse than FLEP (%.1f%%)", meanS, meanF)
+	}
+}
+
+func TestAblations(t *testing.T) {
+	s := testSuite(t)
+	am, err := s.AblationAmortize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Overhead decreases with L; drain latency increases.
+	prevOv, prevDrain := 1e18, -1.0
+	for _, row := range am.Rows {
+		ov := cellFloat(t, row[1])
+		dr := cellFloat(t, row[2])
+		if ov > prevOv+0.05 {
+			t.Errorf("overhead not decreasing with L: %v", row)
+		}
+		if dr < prevDrain {
+			t.Errorf("drain latency not increasing with L: %v", row)
+		}
+		prevOv, prevDrain = ov, dr
+	}
+
+	lp, err := s.AblationLeaderPoll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range lp.Rows {
+		if cellFloat(t, row[2]) <= cellFloat(t, row[1]) {
+			t.Errorf("%s: all-warps poll not worse than leader poll", row[0])
+		}
+	}
+
+	oa, err := s.AblationOverheadAware()
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawPenalty := false
+	for _, row := range oa.Rows {
+		if cellFloat(t, row[4]) > 0 {
+			sawPenalty = true
+		}
+	}
+	if !sawPenalty {
+		t.Error("naive SRT never paid a penalty near break-even")
+	}
+
+	if _, err := s.AblationSpatialSize(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableFormatting(t *testing.T) {
+	tab := &Table{ID: "x", Title: "T", Columns: []string{"a", "bb"}}
+	tab.AddRow("hello", 3.14159)
+	tab.Note("n=%d", 3)
+	out := tab.Format()
+	for _, want := range []string{"== x: T ==", "hello", "3.14", "note: n=3", "a", "bb"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("formatted table missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestGeneratorsComplete(t *testing.T) {
+	ids := map[string]bool{}
+	for _, g := range Generators() {
+		ids[g.ID] = true
+	}
+	for _, want := range []string{"table1", "fig1", "fig7", "fig8", "fig9", "fig10",
+		"fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17"} {
+		if !ids[want] {
+			t.Errorf("generator %s missing", want)
+		}
+	}
+}
+
+func TestAblationNVLink(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.AblationNVLink()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Per benchmark, tuned L and drain latency must shrink as the poll
+	// latency drops across interconnect generations.
+	lByBench := map[string][]float64{}
+	for _, row := range tab.Rows {
+		lByBench[row[2]] = append(lByBench[row[2]], cellFloat(t, row[3]))
+	}
+	for name, ls := range lByBench {
+		if len(ls) != 3 {
+			t.Fatalf("%s: %d interconnect points", name, len(ls))
+		}
+		if !(ls[0] > ls[1] && ls[1] > ls[2]) {
+			t.Errorf("%s: L not shrinking with faster interconnect: %v", name, ls)
+		}
+	}
+}
+
+func TestExtFFSTriplet(t *testing.T) {
+	s := testSuite(t)
+	tab, err := s.ExtFFSTriplet()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tab.Rows {
+		w3 := cellFloat(t, row[1])
+		w2 := cellFloat(t, row[2])
+		w1 := cellFloat(t, row[3])
+		if !(w3 > w2 && w2 > w1) {
+			t.Errorf("%s: shares not ordered by weight: %v %v %v", row[0], w3, w2, w1)
+		}
+		if sum := w3 + w2 + w1; sum < 70 || sum > 101 {
+			t.Errorf("%s: share sum %.1f%% implausible", row[0], sum)
+		}
+	}
+}

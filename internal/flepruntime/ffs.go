@@ -1,0 +1,158 @@
+package flepruntime
+
+import (
+	"fmt"
+	"time"
+)
+
+// FFS is the paper's fairness-first policy (§5.2.2): weighted round-robin
+// where kernel i runs for an epoch of length T×W_i per round, with T chosen
+// as the minimum satisfying the overhead constraint
+//
+//	ΣO_i / (T ΣW_i) ≤ max_overhead
+//
+// so that context-switch (preemption) cost never exceeds the user's budget.
+// An epoch belongs to a client (kernel), not to one invocation: a client
+// whose invocation completes mid-epoch keeps the GPU for its next
+// invocation until the epoch expires.
+type FFS struct {
+	// MaxOverhead is the user's tolerated throughput loss (e.g. 0.10).
+	MaxOverhead float64
+	// Weights maps priority level to its share weight. Missing levels
+	// weigh their priority value (min 1).
+	Weights map[int]float64
+
+	rt    *Runtime
+	queue []*Invocation
+	// seen tracks each distinct kernel's overhead and weight for the
+	// epoch computation.
+	seen map[string]ffsKernel
+	// curKernel owns the current epoch, which ends at epochEnd.
+	curKernel string
+	epochEnd  time.Duration
+	epochSeq  int
+}
+
+type ffsKernel struct {
+	overhead time.Duration
+	weight   float64
+}
+
+// NewFFS returns an FFS policy with the given overhead budget.
+func NewFFS(maxOverhead float64) *FFS {
+	if maxOverhead <= 0 {
+		maxOverhead = 0.10
+	}
+	return &FFS{MaxOverhead: maxOverhead, seen: map[string]ffsKernel{}}
+}
+
+// Name implements Policy.
+func (f *FFS) Name() string { return "FFS" }
+
+// bind gives the policy its runtime (called by Runtime's constructor).
+func (f *FFS) bind(r *Runtime) { f.rt = r }
+
+// weight returns the share weight of an invocation.
+func (f *FFS) weight(v *Invocation) float64 {
+	if w, ok := f.Weights[v.Priority]; ok && w > 0 {
+		return w
+	}
+	if v.Priority >= 1 {
+		return float64(v.Priority)
+	}
+	return 1
+}
+
+// Enqueue appends in FIFO (round-robin) order.
+func (f *FFS) Enqueue(v *Invocation) { f.queue = append(f.queue, v) }
+
+// Peek implements Policy: within an open epoch, the epoch owner's next
+// invocation goes first; otherwise the round-robin head.
+func (f *FFS) Peek() *Invocation {
+	if len(f.queue) == 0 {
+		return nil
+	}
+	if f.rt != nil && f.curKernel != "" && f.rt.Device().Now() < f.epochEnd {
+		for _, v := range f.queue {
+			if v.Kernel == f.curKernel {
+				return v
+			}
+		}
+	}
+	return f.queue[0]
+}
+
+// Dequeue implements Policy.
+func (f *FFS) Dequeue(v *Invocation) {
+	for i, q := range f.queue {
+		if q == v {
+			f.queue = append(f.queue[:i], f.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ShouldPreempt implements Policy: FFS never preempts on arrival; epochs
+// expire via the dispatch timer.
+func (f *FFS) ShouldPreempt(*Runtime, *Invocation, *Invocation) bool { return false }
+
+// baseEpoch computes the minimum T satisfying the overhead constraint over
+// the kernels seen so far.
+func (f *FFS) baseEpoch() time.Duration {
+	var sumO time.Duration
+	sumW := 0.0
+	for _, k := range f.seen {
+		sumO += k.overhead
+		sumW += k.weight
+	}
+	if sumW == 0 {
+		return 0
+	}
+	return time.Duration(float64(sumO) / (f.MaxOverhead * sumW))
+}
+
+// OnDispatch opens a new epoch when the GPU changes hands; dispatches of
+// the epoch owner's follow-up invocations inherit the running epoch.
+func (f *FFS) OnDispatch(r *Runtime, v *Invocation) {
+	f.seen[v.Kernel] = ffsKernel{overhead: r.OverheadFor(v), weight: f.weight(v)}
+	now := r.Device().Now()
+	if v.Kernel == f.curKernel && now < f.epochEnd {
+		return // continuation within the owner's epoch
+	}
+	epoch := time.Duration(float64(f.baseEpoch()) * f.weight(v))
+	if epoch <= 0 {
+		return
+	}
+	f.curKernel = v.Kernel
+	f.epochEnd = now + epoch
+	f.epochSeq++
+	seq := f.epochSeq
+	r.Device().Engine().At(f.epochEnd, func() { f.onEpochEnd(r, seq) })
+}
+
+// onEpochEnd rotates the GPU to the next client when the epoch expires.
+func (f *FFS) onEpochEnd(r *Runtime, seq int) {
+	if seq != f.epochSeq {
+		return // a newer epoch superseded this timer
+	}
+	owner := f.curKernel
+	f.curKernel = ""
+	running := r.Running()
+	if running == nil || running.Kernel != owner || running.State() != InvRunning {
+		r.schedule()
+		return
+	}
+	if f.Peek() == nil {
+		// Nobody else waiting: extend the owner's epoch in place.
+		f.OnDispatch(r, running)
+		return
+	}
+	r.log("epoch", owner, fmt.Sprintf("expired at %v", r.Device().Now()))
+	r.PreemptRunning()
+}
+
+// Queued implements Policy.
+func (f *FFS) Queued() []*Invocation { return f.queue }
+
+// Pending returns the queued invocation count (for tests).
+func (f *FFS) Pending() int { return len(f.queue) }

@@ -1,0 +1,166 @@
+// Package flepruntime implements FLEP's online phase (§5): it intercepts
+// kernel invocations, tracks each one's execution triplet (predicted
+// duration Te, waiting time Tw, remaining time Tr), and makes preemption
+// and scheduling decisions under one of two policies — HPF
+// (highest-priority-first with shortest-remaining-time within a priority
+// level, Figure 6) and FFS (weighted round-robin fairness under a
+// configurable overhead budget).
+package flepruntime
+
+import (
+	"time"
+
+	"flep/internal/gpu"
+)
+
+// InvState is an invocation's lifecycle state inside the runtime.
+type InvState int
+
+// Invocation states.
+const (
+	InvWaiting InvState = iota
+	InvRunning
+	InvFinished
+)
+
+// String names the state.
+func (s InvState) String() string {
+	switch s {
+	case InvWaiting:
+		return "waiting"
+	case InvRunning:
+		return "running"
+	default:
+		return "finished"
+	}
+}
+
+// Invocation is one intercepted kernel launch. The fields above the triplet
+// come from the host's flep_intercept call; the triplet (Te, Tw, Tr) is the
+// runtime's execution log (§5.1).
+type Invocation struct {
+	ID       int
+	Kernel   string
+	Priority int // higher = more important
+	Profile  *gpu.KernelProfile
+	Tasks    int
+	// TaskCost is the ground-truth per-task time used by the device
+	// model. The scheduler never reads it; it schedules on Te/Tr.
+	TaskCost time.Duration
+	// L is the kernel's tuned amortizing factor.
+	L int
+	// WorkingSet is the invocation's resident device-memory footprint.
+	// The runtime reserves it at first dispatch and releases it at
+	// completion; a preempted invocation keeps its reservation (its
+	// state stays on the device, §8).
+	WorkingSet int64
+
+	// Te is the predicted duration (never updated after submission).
+	Te time.Duration
+	// Tw is the accumulated waiting time.
+	Tw time.Duration
+	// Tr is the predicted remaining execution time.
+	Tr time.Duration
+
+	// OnFinish, if set, fires when the invocation completes.
+	OnFinish func(*Invocation)
+
+	state        InvState
+	doneTasks    int
+	waitingSince time.Duration
+	runStart     time.Duration
+	submittedAt  time.Duration
+	finishedAt   time.Duration
+	exec         *gpu.Exec
+	guest        bool // currently running as a spatial guest
+	reserved     bool // holds a device-memory reservation
+}
+
+// State returns the invocation's lifecycle state.
+func (v *Invocation) State() InvState { return v.state }
+
+// HostState is the transformed CPU program's state from the paper's
+// Figure 5: S1 (CPU code execution), S2 (waiting for a scheduling
+// decision), S3 (waiting for GPU execution).
+type HostState int
+
+// Figure 5 states.
+const (
+	// S1: the host runs CPU code (prepares inputs or consumes results).
+	S1 HostState = iota + 1
+	// S2: the host sent the kernel's information to the runtime and
+	// waits for the decision to launch (also entered after the host
+	// preempts its kernel on the runtime's signal).
+	S2
+	// S3: the host launched the kernel and waits for GPU execution.
+	S3
+)
+
+// String names the host state.
+func (h HostState) String() string {
+	switch h {
+	case S1:
+		return "S1(cpu)"
+	case S2:
+		return "S2(await-schedule)"
+	case S3:
+		return "S3(await-gpu)"
+	default:
+		return "?"
+	}
+}
+
+// HostState maps the invocation's runtime state onto Figure 5's machine:
+// a waiting invocation has its host blocked in S2; a running one in S3; a
+// finished one returned control to CPU code (S1). A preemption moves the
+// host S3→S2 (the runtime signalled it to set the flag and relaunch
+// later); a dispatch moves it S2→S3; completion moves S3→S1.
+func (v *Invocation) HostState() HostState {
+	switch v.state {
+	case InvWaiting:
+		return S2
+	case InvRunning:
+		return S3
+	default:
+		return S1
+	}
+}
+
+// SubmittedAt returns the interception time.
+func (v *Invocation) SubmittedAt() time.Duration { return v.submittedAt }
+
+// FinishedAt returns the completion time (zero until finished).
+func (v *Invocation) FinishedAt() time.Duration { return v.finishedAt }
+
+// Turnaround returns waiting plus execution time for a finished invocation.
+func (v *Invocation) Turnaround() time.Duration { return v.finishedAt - v.submittedAt }
+
+// beginWait marks the invocation waiting from now.
+func (v *Invocation) beginWait(now time.Duration) {
+	v.state = InvWaiting
+	v.waitingSince = now
+}
+
+// beginRun transitions waiting→running, folding the elapsed wait into Tw.
+func (v *Invocation) beginRun(now time.Duration) {
+	if v.state == InvWaiting {
+		v.Tw += now - v.waitingSince
+	}
+	v.state = InvRunning
+	v.runStart = now
+}
+
+// chargeRun folds elapsed runtime into Tr ("its value decreases when it
+// runs on the GPU").
+func (v *Invocation) chargeRun(now time.Duration) {
+	elapsed := now - v.runStart
+	if elapsed < 0 {
+		elapsed = 0
+	}
+	if v.Tr > elapsed {
+		v.Tr -= elapsed
+	} else {
+		v.Tr = 0
+	}
+	v.runStart = now
+}

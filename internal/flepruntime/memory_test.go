@@ -1,0 +1,182 @@
+package flepruntime
+
+import (
+	"testing"
+
+	"flep/internal/gpu"
+	"flep/internal/sim"
+)
+
+// memRT builds a runtime on a device with a small memory capacity.
+func memRT(capacity int64) (*sim.Engine, *Runtime) {
+	eng := sim.New()
+	par := gpu.DefaultParams()
+	par.MemoryBytes = capacity
+	dev := gpu.New(eng, par)
+	return eng, New(dev, Config{Policy: NewHPF()})
+}
+
+func memInv(name string, tasks int, ws int64) *Invocation {
+	v := inv(name, 1, tasks, us(100), 2)
+	v.WorkingSet = ws
+	return v
+}
+
+func TestSubmitRejectsOversizedWorkingSet(t *testing.T) {
+	_, rt := memRT(1 << 20)
+	v := memInv("huge", 1200, 2<<20)
+	if err := rt.Submit(v); err == nil {
+		t.Fatal("oversized working set accepted")
+	}
+}
+
+func TestMemoryAdmissionDefersSecondKernel(t *testing.T) {
+	eng, rt := memRT(10 << 20)
+	a := memInv("a", 12000, 7<<20) // 10ms
+	b := memInv("b", 1200, 7<<20)  // would overflow while a is resident
+	var order []string
+	a.OnFinish = func(*Invocation) { order = append(order, "a") }
+	b.OnFinish = func(*Invocation) { order = append(order, "b") }
+	if err := rt.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(us(100), func() {
+		if err := rt.Submit(b); err != nil {
+			t.Errorf("submit b: %v", err)
+		}
+	})
+	eng.Run()
+	if len(order) != 2 || order[0] != "a" || order[1] != "b" {
+		t.Fatalf("order = %v (b must wait for a's memory)", order)
+	}
+	if rt.Device().MemoryFree() != 10<<20 {
+		t.Fatalf("memory leaked: free = %d", rt.Device().MemoryFree())
+	}
+}
+
+func TestMemoryAdmissionFallsBackToFittingKernel(t *testing.T) {
+	// A preempted kernel holds its reservation. A higher-priority kernel
+	// that does not fit must not stall a third kernel that does.
+	eng, rt := memRT(10 << 20)
+	victim := memInv("victim", 120000, 6<<20) // 100ms, holds 6MB
+	big := inv("big", 3, 1200, us(100), 2)    // high priority, needs 7MB
+	big.WorkingSet = 7 << 20
+	small := inv("small", 2, 1200, us(100), 2) // priority between, fits in 4MB
+	small.WorkingSet = 3 << 20
+	var order []string
+	for _, v := range []*Invocation{victim, big, small} {
+		v := v
+		v.OnFinish = func(*Invocation) { order = append(order, v.Kernel) }
+	}
+	if err := rt.Submit(victim); err != nil {
+		t.Fatal(err)
+	}
+	// big arrives: preempts victim (higher priority) but cannot reserve
+	// 7MB while victim holds 6 — the runtime must not dispatch it; small
+	// (which fits) should run instead once the GPU idles.
+	eng.Schedule(us(1000), func() {
+		if err := rt.Submit(big); err != nil {
+			t.Errorf("submit big: %v", err)
+		}
+		if err := rt.Submit(small); err != nil {
+			t.Errorf("submit small: %v", err)
+		}
+	})
+	eng.Run()
+	if len(order) != 3 {
+		t.Fatalf("finished %d kernels: %v", len(order), order)
+	}
+	// small must beat big (big is memory-blocked until victim finishes).
+	idx := map[string]int{}
+	for i, n := range order {
+		idx[n] = i
+	}
+	if idx["small"] > idx["big"] {
+		t.Fatalf("order = %v: small should run while big is memory-blocked", order)
+	}
+	if rt.Device().MemoryFree() != 10<<20 {
+		t.Fatalf("memory leaked: free = %d", rt.Device().MemoryFree())
+	}
+}
+
+func TestPreemptedKernelKeepsReservation(t *testing.T) {
+	eng, rt := memRT(10 << 20)
+	long := memInv("long", 120000, 6<<20)
+	short := inv("short", 2, 1200, us(100), 2) // high priority, no memory need
+	if err := rt.Submit(long); err != nil {
+		t.Fatal(err)
+	}
+	var freeDuringShort int64 = -1
+	short.OnFinish = func(*Invocation) { freeDuringShort = rt.Device().MemoryFree() }
+	eng.Schedule(us(1000), func() {
+		if err := rt.Submit(short); err != nil {
+			t.Error(err)
+		}
+	})
+	eng.Run()
+	// While short ran (after preempting long), long's 6MB stayed reserved.
+	if freeDuringShort != 4<<20 {
+		t.Fatalf("free during short = %d, want 4MB (victim keeps its reservation)", freeDuringShort)
+	}
+}
+
+func TestZeroWorkingSetUnlimited(t *testing.T) {
+	eng, rt := memRT(1) // 1 byte of memory
+	a := memInv("a", 1200, 0)
+	done := false
+	a.OnFinish = func(*Invocation) { done = true }
+	if err := rt.Submit(a); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	if !done {
+		t.Fatal("zero working set should always be admitted")
+	}
+}
+
+func TestDeviceReserveRelease(t *testing.T) {
+	eng := sim.New()
+	par := gpu.DefaultParams()
+	par.MemoryBytes = 100
+	dev := gpu.New(eng, par)
+	if err := dev.Reserve(60); err != nil {
+		t.Fatal(err)
+	}
+	if err := dev.Reserve(50); err == nil {
+		t.Fatal("over-reservation accepted")
+	}
+	if dev.MemoryFree() != 40 {
+		t.Fatalf("free = %d", dev.MemoryFree())
+	}
+	dev.Release(60)
+	if dev.MemoryFree() != 100 {
+		t.Fatalf("free after release = %d", dev.MemoryFree())
+	}
+	if err := dev.Reserve(-1); err == nil {
+		t.Fatal("negative reservation accepted")
+	}
+}
+
+func TestDeviceReleaseUnderflowPanics(t *testing.T) {
+	eng := sim.New()
+	par := gpu.DefaultParams()
+	par.MemoryBytes = 100
+	dev := gpu.New(eng, par)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on release underflow")
+		}
+	}()
+	dev.Release(1)
+}
+
+func TestUnlimitedDeviceMemory(t *testing.T) {
+	eng := sim.New()
+	par := gpu.DefaultParams()
+	par.MemoryBytes = 0
+	dev := gpu.New(eng, par)
+	if err := dev.Reserve(1 << 50); err != nil {
+		t.Fatalf("unlimited device rejected reservation: %v", err)
+	}
+	_ = eng
+}

@@ -1,0 +1,417 @@
+package flepruntime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flep/internal/gpu"
+	"flep/internal/trace"
+	"flep/internal/transform"
+)
+
+// Policy is a pluggable scheduling policy. The runtime calls it from its
+// reconcile loop; implementations must not call back into the runtime
+// except through the documented hooks.
+type Policy interface {
+	// Name identifies the policy in traces.
+	Name() string
+	// Enqueue inserts a newly waiting invocation into the policy's queue.
+	Enqueue(v *Invocation)
+	// Peek returns the invocation the policy would run next, or nil.
+	Peek() *Invocation
+	// Queued lists all waiting invocations in policy order (used for
+	// memory-admission fallbacks).
+	Queued() []*Invocation
+	// Dequeue removes a previously peeked invocation.
+	Dequeue(v *Invocation)
+	// ShouldPreempt decides whether best should preempt running (both
+	// non-nil).
+	ShouldPreempt(r *Runtime, running, best *Invocation) bool
+	// OnDispatch lets the policy arm timers (FFS epochs).
+	OnDispatch(r *Runtime, v *Invocation)
+}
+
+// Config parameterizes the runtime engine.
+type Config struct {
+	// Policy selects HPF or FFS (required).
+	Policy Policy
+	// EnableSpatial turns on spatial preemption: when a higher-priority
+	// kernel needs fewer SMs than the device has, only that many SMs are
+	// yielded.
+	EnableSpatial bool
+	// SpatialSMs overrides the yielded SM count (0 = just enough to host
+	// the guest's CTAs). Figure 16 sweeps this to trade guest performance
+	// against preemption overhead.
+	SpatialSMs int
+	// OverheadEstimate returns the estimated preemption overhead for a
+	// kernel (used by HPF's decision rule and FFS's epoch sizing). Nil
+	// falls back to a drain-model estimate.
+	OverheadEstimate func(kernel string) time.Duration
+	// Log, if set, receives runtime events.
+	Log *trace.Log
+}
+
+// Runtime is the FLEP online engine: it owns the device, buffers
+// intercepted invocations in priority queues, and realizes preemption and
+// scheduling decisions.
+type Runtime struct {
+	dev *gpu.Device
+	cfg Config
+
+	nextID  int
+	running *Invocation // primary execution (nil if GPU free)
+	guest   *Invocation // spatial guest on low SMs (nil if none)
+	// draining is set while a preemption drain is in flight; scheduling
+	// pauses until the drained callback.
+	draining     bool
+	pendingGuest *Invocation // waiting to land on spatially-freed SMs
+}
+
+// binder is implemented by policies that need a back-reference to their
+// runtime (FFS's epoch bookkeeping).
+type binder interface{ bind(*Runtime) }
+
+// New builds a runtime on the device.
+func New(dev *gpu.Device, cfg Config) *Runtime {
+	if cfg.Policy == nil {
+		panic("flepruntime: config without policy")
+	}
+	r := &Runtime{dev: dev, cfg: cfg}
+	if b, ok := cfg.Policy.(binder); ok {
+		b.bind(r)
+	}
+	return r
+}
+
+// Device returns the underlying device.
+func (r *Runtime) Device() *gpu.Device { return r.dev }
+
+// Running returns the primary running invocation, or nil.
+func (r *Runtime) Running() *Invocation { return r.running }
+
+func (r *Runtime) log(kind, kernel, detail string) {
+	if r.cfg.Log != nil {
+		r.cfg.Log.Runtime(r.dev.Now(), kind, kernel, detail)
+	}
+}
+
+// Submit intercepts a kernel invocation (the transformed host program's
+// flep_intercept call) and enters it into scheduling. Invocations whose
+// working set exceeds the device memory can never run and are rejected.
+func (r *Runtime) Submit(v *Invocation) error {
+	if v.WorkingSet > 0 && r.dev.Params().MemoryBytes > 0 &&
+		v.WorkingSet > r.dev.Params().MemoryBytes {
+		return fmt.Errorf("flepruntime: %s working set %d exceeds device memory %d",
+			v.Kernel, v.WorkingSet, r.dev.Params().MemoryBytes)
+	}
+	r.nextID++
+	v.ID = r.nextID
+	v.submittedAt = r.dev.Now()
+	if v.Tr == 0 {
+		v.Tr = v.Te
+	}
+	if v.L <= 0 {
+		v.L = 1
+	}
+	v.beginWait(r.dev.Now())
+	r.cfg.Policy.Enqueue(v)
+	r.log("submit", v.Kernel, fmt.Sprintf("id=%d prio=%d Te=%v", v.ID, v.Priority, v.Te))
+	r.schedule()
+	return nil
+}
+
+// fits reports whether the invocation's working set can be (or already is)
+// reserved.
+func (r *Runtime) fits(v *Invocation) bool {
+	return v.reserved || v.WorkingSet <= r.dev.MemoryFree()
+}
+
+// OverheadFor estimates the preemption overhead of the kernel: the
+// configured profile-based estimate if available, otherwise a drain-model
+// bound (flag propagation + poll + half an amortization batch + relaunch).
+func (r *Runtime) OverheadFor(v *Invocation) time.Duration {
+	if r.cfg.OverheadEstimate != nil {
+		if d := r.cfg.OverheadEstimate(v.Kernel); d > 0 {
+			return d
+		}
+	}
+	par := r.dev.Params()
+	batch := time.Duration(float64(v.L+1) / 2 * float64(v.TaskCost))
+	return par.FlagPropagation + par.PinnedReadLatency + batch + 2*par.LaunchLatency
+}
+
+// smsNeeded computes the spatial footprint of an invocation: just enough
+// SMs to host all its CTAs.
+func (r *Runtime) smsNeeded(v *Invocation) int {
+	occ := transform.Occupancy{CTAsPerSM: v.Profile.CTAsPerSM}
+	return transform.SMsNeeded(occ, v.Tasks-v.doneTasks, r.dev.Params().Limits)
+}
+
+// schedule is the reconcile loop: called after every submit, completion,
+// and drain. It decides at most one action per call.
+func (r *Runtime) schedule() {
+	if r.draining {
+		return
+	}
+	best := r.cfg.Policy.Peek()
+	if best == nil {
+		return
+	}
+	if !r.fits(best) {
+		// Memory admission: the policy's first choice cannot become
+		// resident yet. Fall back to the first queued invocation that
+		// fits, so neither an idle GPU nor a preemption opportunity
+		// stalls behind a memory-blocked kernel.
+		best = nil
+		for _, q := range r.cfg.Policy.Queued() {
+			if r.fits(q) {
+				best = q
+				break
+			}
+		}
+		if best == nil {
+			return // a completion will free memory; retry then
+		}
+	}
+	if r.running == nil {
+		if r.guest != nil {
+			// Low SMs busy with a guest; wait for it.
+			return
+		}
+		r.cfg.Policy.Dequeue(best)
+		r.dispatch(best, 0, r.dev.NumSMs(), false)
+		return
+	}
+	// Decide preemption of the running invocation.
+	if r.cfg.Policy.ShouldPreempt(r, r.running, best) {
+		r.preemptFor(best)
+	}
+}
+
+// PreemptRunning forces a temporal preemption of the running invocation
+// (used by FFS at epoch boundaries). It is a no-op if nothing is running
+// or a drain is already in flight.
+func (r *Runtime) PreemptRunning() {
+	if r.running == nil || r.draining {
+		return
+	}
+	victim := r.running
+	r.draining = true
+	r.log("preempt", victim.Kernel, "epoch expired")
+	if err := victim.exec.Preempt(r.dev.NumSMs()); err != nil {
+		r.draining = false
+	}
+}
+
+// preemptFor initiates preemption of the running invocation on behalf of
+// best, choosing spatial preemption when best does not need the whole GPU.
+func (r *Runtime) preemptFor(best *Invocation) {
+	victim := r.running
+	need := r.dev.NumSMs()
+	spatial := false
+	if r.cfg.EnableSpatial && r.guest == nil && best.Priority > victim.Priority {
+		n := r.smsNeeded(best)
+		if r.cfg.SpatialSMs > 0 && r.cfg.SpatialSMs >= n {
+			n = r.cfg.SpatialSMs
+		}
+		if n < r.dev.NumSMs() {
+			need = n
+			spatial = true
+		}
+	}
+	r.draining = true
+	if spatial {
+		r.pendingGuest = best
+		r.cfg.Policy.Dequeue(best)
+	}
+	r.log("preempt", victim.Kernel, fmt.Sprintf("for=%s sms=%d spatial=%v", best.Kernel, need, spatial))
+	if err := victim.exec.Preempt(need); err != nil {
+		// The victim raced to completion; its completion callback will
+		// reschedule.
+		r.draining = false
+		if spatial {
+			r.pendingGuest = nil
+			r.cfg.Policy.Enqueue(best)
+		}
+	}
+}
+
+// dispatch starts an invocation on the SM range.
+func (r *Runtime) dispatch(v *Invocation, smLo, smHi int, asGuest bool) {
+	now := r.dev.Now()
+	if !v.reserved && v.WorkingSet > 0 {
+		if err := r.dev.Reserve(v.WorkingSet); err != nil {
+			panic(fmt.Sprintf("flepruntime: dispatch %s: %v (admission bug)", v.Kernel, err))
+		}
+		v.reserved = true
+	}
+	v.beginRun(now)
+	v.guest = asGuest
+	exec, err := r.dev.Start(gpu.ExecConfig{
+		Profile:    v.Profile,
+		TotalTasks: v.Tasks,
+		DoneTasks:  v.doneTasks,
+		TaskCost:   v.TaskCost,
+		Persistent: true,
+		L:          v.L,
+		SMLo:       smLo,
+		SMHi:       smHi,
+		ColdStart:  v.doneTasks > 0,
+		OnComplete: func() { r.onComplete(v) },
+		OnDrained:  func(rem int) { r.onDrained(v, rem) },
+	})
+	if err != nil {
+		panic(fmt.Sprintf("flepruntime: dispatch %s: %v", v.Kernel, err))
+	}
+	v.exec = exec
+	if asGuest {
+		r.guest = v
+	} else {
+		r.running = v
+	}
+	r.log("dispatch", v.Kernel, fmt.Sprintf("id=%d sms=[%d,%d) guest=%v", v.ID, smLo, smHi, asGuest))
+	r.cfg.Policy.OnDispatch(r, v)
+}
+
+// onComplete handles an invocation finishing all tasks.
+func (r *Runtime) onComplete(v *Invocation) {
+	now := r.dev.Now()
+	v.chargeRun(now)
+	v.state = InvFinished
+	v.finishedAt = now
+	v.doneTasks = v.Tasks
+	if v.reserved {
+		r.dev.Release(v.WorkingSet)
+		v.reserved = false
+	}
+	wasGuest := v.guest
+	if r.guest == v {
+		r.guest = nil
+	}
+	if r.running == v {
+		r.running = nil
+	}
+	r.log("complete", v.Kernel, fmt.Sprintf("id=%d turnaround=%v Tw=%v", v.ID, v.Turnaround(), v.Tw))
+	if wasGuest && r.running != nil && r.running.exec != nil {
+		// Reclaim the guest's SMs for the shrunk victim.
+		lo, _ := r.running.exec.SMRange()
+		if lo > 0 {
+			if err := r.running.exec.Expand(0); err == nil {
+				r.log("expand", r.running.Kernel, "reclaimed guest SMs")
+			}
+		}
+	}
+	if v.OnFinish != nil {
+		v.OnFinish(v)
+	}
+	r.schedule()
+}
+
+// onDrained handles the device reporting that a preemption drain finished.
+func (r *Runtime) onDrained(v *Invocation, remaining int) {
+	r.draining = false
+	if remaining == 0 {
+		// The victim completed before the drain; onComplete already ran.
+		if g := r.pendingGuest; g != nil {
+			r.pendingGuest = nil
+			r.cfg.Policy.Enqueue(g)
+		}
+		r.schedule()
+		return
+	}
+	now := r.dev.Now()
+	v.chargeRun(now)
+	v.doneTasks = v.Tasks - remaining
+	if g := r.pendingGuest; g != nil {
+		// Spatial: victim keeps running on its remaining SMs; the guest
+		// takes the freed low SMs.
+		r.pendingGuest = nil
+		lo, _ := v.exec.SMRange()
+		r.log("drained", v.Kernel, fmt.Sprintf("spatial remaining=%d freed=[0,%d)", remaining, lo))
+		r.dispatch(g, 0, lo, true)
+		return
+	}
+	// Temporal: the victim stopped entirely; it goes back to the queue.
+	v.beginWait(now)
+	v.exec = nil
+	if r.running == v {
+		r.running = nil
+	}
+	r.log("drained", v.Kernel, fmt.Sprintf("temporal remaining=%d", remaining))
+	r.cfg.Policy.Enqueue(v)
+	r.schedule()
+}
+
+// ---- HPF policy ----
+
+// HPF is the paper's highest-priority-first policy with shortest-remaining-
+// time ordering and overhead-aware preemption within a priority level
+// (Figure 6, §5.2.1).
+type HPF struct {
+	queue []*Invocation
+	// OverheadAware disables the preemption-overhead term when false
+	// (the naive-SRT ablation). The paper's HPF sets it true.
+	OverheadAware bool
+}
+
+// NewHPF returns the paper's HPF policy.
+func NewHPF() *HPF { return &HPF{OverheadAware: true} }
+
+// Name implements Policy.
+func (h *HPF) Name() string { return "HPF" }
+
+// Enqueue inserts keeping the queue sorted by (priority desc, Tr asc), so
+// the head is always the next kernel to schedule.
+func (h *HPF) Enqueue(v *Invocation) {
+	h.queue = append(h.queue, v)
+	sort.SliceStable(h.queue, func(i, j int) bool {
+		if h.queue[i].Priority != h.queue[j].Priority {
+			return h.queue[i].Priority > h.queue[j].Priority
+		}
+		return h.queue[i].Tr < h.queue[j].Tr
+	})
+}
+
+// Peek implements Policy.
+func (h *HPF) Peek() *Invocation {
+	if len(h.queue) == 0 {
+		return nil
+	}
+	return h.queue[0]
+}
+
+// Dequeue implements Policy.
+func (h *HPF) Dequeue(v *Invocation) {
+	for i, q := range h.queue {
+		if q == v {
+			h.queue = append(h.queue[:i], h.queue[i+1:]...)
+			return
+		}
+	}
+}
+
+// ShouldPreempt applies Figure 6's rules: a strictly higher priority always
+// preempts; within a priority level, shortest-remaining-time preempts only
+// if the running kernel's remaining time exceeds the candidate's remaining
+// time plus the preemption overhead (the overhead delays every waiter).
+func (h *HPF) ShouldPreempt(r *Runtime, running, best *Invocation) bool {
+	if best.Priority != running.Priority {
+		return best.Priority > running.Priority
+	}
+	running.chargeRun(r.Device().Now())
+	threshold := best.Tr
+	if h.OverheadAware {
+		threshold += r.OverheadFor(running)
+	}
+	return running.Tr > threshold
+}
+
+// OnDispatch implements Policy (no-op for HPF).
+func (h *HPF) OnDispatch(*Runtime, *Invocation) {}
+
+// Queued implements Policy.
+func (h *HPF) Queued() []*Invocation { return h.queue }
+
+// Pending returns the queued invocation count (for tests).
+func (h *HPF) Pending() int { return len(h.queue) }

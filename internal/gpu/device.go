@@ -1,0 +1,607 @@
+package gpu
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"flep/internal/sim"
+)
+
+// EventKind classifies observer events.
+type EventKind int
+
+// Observer event kinds.
+const (
+	EvLaunch EventKind = iota
+	EvResident
+	EvComplete
+	EvPreemptRequest
+	EvDrained
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvLaunch:
+		return "launch"
+	case EvResident:
+		return "resident"
+	case EvComplete:
+		return "complete"
+	case EvPreemptRequest:
+		return "preempt"
+	case EvDrained:
+		return "drained"
+	default:
+		return "?"
+	}
+}
+
+// Event is one observable device event, for tracing.
+type Event struct {
+	Time   time.Duration
+	Kind   EventKind
+	Kernel string
+	// SMLo, SMHi give the execution's SM range at event time.
+	SMLo, SMHi int
+	// Remaining is the task count still to process (Complete: 0).
+	Remaining int
+}
+
+// Device is the GPU model. It hosts concurrent executions, integrates
+// their fluid task progress, and realizes preemption drains.
+type Device struct {
+	eng *sim.Engine
+	par Params
+
+	// Observer, if set, receives every device event (for traces).
+	Observer func(Event)
+
+	execs    []*Exec
+	wake     *sim.Event // earliest completion/deadline event
+	reserved int64      // device memory currently reserved
+}
+
+// Reserve claims bytes of device memory (a kernel's working set). It fails
+// when the capacity would be exceeded; a zero-capacity device (params
+// without MemoryBytes) accepts everything.
+func (d *Device) Reserve(bytes int64) error {
+	if bytes < 0 {
+		return fmt.Errorf("gpu: negative reservation %d", bytes)
+	}
+	if d.par.MemoryBytes > 0 && d.reserved+bytes > d.par.MemoryBytes {
+		return fmt.Errorf("gpu: out of device memory: %d + %d > %d",
+			d.reserved, bytes, d.par.MemoryBytes)
+	}
+	d.reserved += bytes
+	return nil
+}
+
+// Release returns a previous reservation.
+func (d *Device) Release(bytes int64) {
+	d.reserved -= bytes
+	if d.reserved < 0 {
+		panic("gpu: memory release exceeds reservations")
+	}
+}
+
+// MemoryFree returns the unreserved device memory (capacity when the
+// device has no configured limit).
+func (d *Device) MemoryFree() int64 {
+	if d.par.MemoryBytes <= 0 {
+		return 1 << 62
+	}
+	return d.par.MemoryBytes - d.reserved
+}
+
+// New builds a device on the given simulation engine.
+func New(eng *sim.Engine, par Params) *Device {
+	if par.Limits.NumSMs <= 0 {
+		panic("gpu: params without device limits")
+	}
+	return &Device{eng: eng, par: par}
+}
+
+// Params returns the device's calibration constants.
+func (d *Device) Params() Params { return d.par }
+
+// NumSMs returns the SM count.
+func (d *Device) NumSMs() int { return d.par.Limits.NumSMs }
+
+// Now returns the current virtual time.
+func (d *Device) Now() time.Duration { return d.eng.Now() }
+
+// Engine exposes the simulation engine for callers that schedule their own
+// events (arrival processes, runtime timers).
+func (d *Device) Engine() *sim.Engine { return d.eng }
+
+// ExecState is an execution's lifecycle state.
+type ExecState int
+
+// Execution states.
+const (
+	StateLaunching ExecState = iota // waiting out launch latency
+	StateRunning
+	StateStopped // fully preempted or killed; resumable via a new Start
+	StateDone
+)
+
+// String names the state.
+func (s ExecState) String() string {
+	switch s {
+	case StateLaunching:
+		return "launching"
+	case StateRunning:
+		return "running"
+	case StateStopped:
+		return "stopped"
+	case StateDone:
+		return "done"
+	default:
+		return "?"
+	}
+}
+
+// ExecConfig describes one execution to start.
+type ExecConfig struct {
+	Profile *KernelProfile
+	// TotalTasks is the original grid size; DoneTasks the tasks already
+	// completed by earlier (preempted) runs of the same invocation.
+	TotalTasks int
+	DoneTasks  int
+	// TaskCost is the per-task base duration at full occupancy.
+	TaskCost time.Duration
+	// Persistent marks a FLEP-transformed execution: it pays poll and
+	// atomic overheads and supports Preempt.
+	Persistent bool
+	// L is the amortizing factor (ignored unless Persistent).
+	L int
+	// SMLo, SMHi place the execution on SMs [SMLo, SMHi).
+	SMLo, SMHi int
+	// ColdStart marks a resume after preemption: the launch additionally
+	// pays the device's ColdRestart warm-up penalty.
+	ColdStart bool
+	// OnComplete fires when the last task finishes.
+	OnComplete func()
+	// OnDrained fires exactly once per Preempt call, when the requested
+	// SMs are free. remaining is the task count still to process (0 if
+	// the execution completed before or during the drain).
+	OnDrained func(remaining int)
+}
+
+// Exec is a handle to a started execution.
+type Exec struct {
+	dev *Device
+	cfg ExecConfig
+
+	state    ExecState
+	done     float64 // fluid completed-task count
+	rate     float64 // tasks per second at current placement
+	lastSync time.Duration
+	smLo     int // current SM range (shrinks under spatial preemption)
+	smHi     int
+	ctas     []int // resident CTAs per SM offset (index 0 = smLo)
+
+	draining   bool
+	drainYield int // SMs to free, counted from smLo
+	drainEv    *sim.Event
+	launchEv   *sim.Event
+}
+
+// Start launches an execution. The configured launch latency elapses before
+// CTAs become resident. Placement must stay within the device and not
+// overlap other executions' SM ranges; overlap is the caller's scheduling
+// bug and is reported as an error.
+func (d *Device) Start(cfg ExecConfig) (*Exec, error) {
+	if cfg.Profile == nil {
+		return nil, fmt.Errorf("gpu: Start without profile")
+	}
+	if cfg.SMLo < 0 || cfg.SMHi > d.par.Limits.NumSMs || cfg.SMLo >= cfg.SMHi {
+		return nil, fmt.Errorf("gpu: bad SM range [%d,%d)", cfg.SMLo, cfg.SMHi)
+	}
+	if cfg.TotalTasks < 0 || cfg.DoneTasks < 0 || cfg.DoneTasks > cfg.TotalTasks {
+		return nil, fmt.Errorf("gpu: bad task counts total=%d done=%d", cfg.TotalTasks, cfg.DoneTasks)
+	}
+	if cfg.TaskCost <= 0 && cfg.TotalTasks > cfg.DoneTasks {
+		return nil, fmt.Errorf("gpu: non-positive task cost")
+	}
+	if cfg.Persistent && cfg.L <= 0 {
+		cfg.L = 1
+	}
+	for _, other := range d.execs {
+		if other.smLo < cfg.SMHi && cfg.SMLo < other.smHi {
+			return nil, fmt.Errorf("gpu: SM range [%d,%d) overlaps running %s [%d,%d)",
+				cfg.SMLo, cfg.SMHi, other.cfg.Profile.Name, other.smLo, other.smHi)
+		}
+	}
+	e := &Exec{
+		dev:   d,
+		cfg:   cfg,
+		state: StateLaunching,
+		done:  float64(cfg.DoneTasks),
+		smLo:  cfg.SMLo,
+		smHi:  cfg.SMHi,
+	}
+	// Register immediately so overlap checks see launching executions too.
+	d.execs = append(d.execs, e)
+	d.emit(Event{Time: d.eng.Now(), Kind: EvLaunch, Kernel: cfg.Profile.Name, SMLo: cfg.SMLo, SMHi: cfg.SMHi, Remaining: e.Remaining()})
+	delay := d.par.LaunchLatency
+	if cfg.ColdStart {
+		delay += d.par.ColdRestart
+	}
+	e.launchEv = d.eng.Schedule(delay, func() { d.becomeResident(e) })
+	return e, nil
+}
+
+// becomeResident places the execution's CTAs after launch latency.
+func (d *Device) becomeResident(e *Exec) {
+	d.sync()
+	e.state = StateRunning
+	e.lastSync = d.eng.Now()
+	e.place()
+	d.recomputeRates()
+	d.emit(Event{Time: d.eng.Now(), Kind: EvResident, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi, Remaining: e.Remaining()})
+	if e.Remaining() == 0 {
+		d.finish(e)
+		return
+	}
+	d.reschedule()
+}
+
+// place distributes the execution's CTAs evenly over its SM range, capped
+// by occupancy and by remaining tasks (a persistent kernel launches at most
+// one worker per task when tasks are scarce).
+func (e *Exec) place() {
+	n := e.smHi - e.smLo
+	perSM := e.cfg.Profile.CTAsPerSM
+	want := n * perSM
+	if rem := e.Remaining(); rem < want {
+		want = rem
+	}
+	e.ctas = make([]int, n)
+	for i := 0; i < want; i++ {
+		e.ctas[i%n]++
+	}
+}
+
+// totalCTAs returns the execution's resident CTA count.
+func (e *Exec) totalCTAs() int {
+	t := 0
+	for _, c := range e.ctas {
+		t += c
+	}
+	return t
+}
+
+// Remaining returns the integer remaining-task count at the current time.
+func (e *Exec) Remaining() int {
+	r := e.cfg.TotalTasks - int(math.Floor(e.done+1e-9))
+	if r < 0 {
+		return 0
+	}
+	return r
+}
+
+// State returns the execution's lifecycle state.
+func (e *Exec) State() ExecState { return e.state }
+
+// SMRange returns the current SM placement.
+func (e *Exec) SMRange() (lo, hi int) { return e.smLo, e.smHi }
+
+// perTask returns the effective per-task duration (seconds) of one CTA on
+// an SM with k resident CTAs, under the device-wide pressure multipliers.
+func (e *Exec) perTask(k int, pressure, mix float64) float64 {
+	base := e.cfg.TaskCost.Seconds() * e.cfg.Profile.speedFactor(k) * pressure * mix
+	if e.cfg.Persistent {
+		base += e.dev.par.TaskAtomicLatency.Seconds()
+		base += e.dev.par.PinnedReadLatency.Seconds() / float64(e.cfg.L)
+	}
+	return base
+}
+
+// sync advances all fluid progress to now and recomputes rates.
+func (d *Device) sync() {
+	now := d.eng.Now()
+	for _, e := range d.execs {
+		if e.state != StateRunning {
+			continue
+		}
+		dt := (now - e.lastSync).Seconds()
+		if dt > 0 {
+			e.done += e.rate * dt
+			if e.done > float64(e.cfg.TotalTasks) {
+				e.done = float64(e.cfg.TotalTasks)
+			}
+		}
+		e.lastSync = now
+	}
+	d.recomputeRates()
+}
+
+// recomputeRates derives each execution's task rate from its placement and
+// the device-wide memory pressure and heterogeneity mix.
+func (d *Device) recomputeRates() {
+	pressure, mix := d.globalFactors()
+	for _, e := range d.execs {
+		if e.state != StateRunning {
+			continue
+		}
+		rate := 0.0
+		for _, k := range e.ctas {
+			if k == 0 {
+				continue
+			}
+			rate += float64(k) / e.perTask(k, pressure, mix)
+		}
+		e.rate = rate
+	}
+}
+
+// globalFactors computes the device-wide task-duration multipliers:
+// pressure ≥ 1 models aggregate memory-bandwidth saturation; mix ≤ 1 models
+// the utilization benefit of co-running kernels with different characters.
+func (d *Device) globalFactors() (pressure, mix float64) {
+	demand := 0.0
+	minMI, maxMI := 1.0, 0.0
+	running := 0
+	for _, e := range d.execs {
+		if e.state != StateRunning || e.totalCTAs() == 0 {
+			continue
+		}
+		running++
+		mi := e.cfg.Profile.MemoryIntensity
+		if mi < minMI {
+			minMI = mi
+		}
+		if mi > maxMI {
+			maxMI = mi
+		}
+		full := float64(d.par.Limits.NumSMs * e.cfg.Profile.CTAsPerSM)
+		if full > 0 {
+			demand += mi * float64(e.totalCTAs()) / full
+		}
+	}
+	pressure = 1.0
+	if demand > 1 {
+		pressure = demand
+	}
+	mix = 1.0
+	if running >= 2 && maxMI > minMI {
+		mix = 1 - d.par.MixBonus*(maxMI-minMI)
+	}
+	return pressure, mix
+}
+
+// reschedule cancels and re-arms the wake event for the earliest pending
+// completion.
+func (d *Device) reschedule() {
+	if d.wake != nil {
+		d.wake.Cancel()
+		d.wake = nil
+	}
+	soonest := time.Duration(math.MaxInt64)
+	found := false
+	for _, e := range d.execs {
+		if e.state != StateRunning || e.rate <= 0 {
+			continue
+		}
+		remaining := float64(e.cfg.TotalTasks) - e.done
+		secs := remaining / e.rate
+		at := e.lastSync + time.Duration(secs*float64(time.Second))
+		if at < d.eng.Now() {
+			at = d.eng.Now()
+		}
+		if at < soonest {
+			soonest = at
+			found = true
+		}
+	}
+	if found {
+		d.wake = d.eng.At(soonest, d.onWake)
+	}
+}
+
+// onWake fires at a predicted completion time: finish anything done and
+// re-arm.
+func (d *Device) onWake() {
+	d.wake = nil
+	d.sync()
+	for _, e := range d.execs {
+		if e.state == StateRunning && float64(e.cfg.TotalTasks)-e.done < 0.5 {
+			e.done = float64(e.cfg.TotalTasks)
+			d.finish(e)
+		}
+	}
+	d.reschedule()
+}
+
+// finish completes an execution: removes it, fires callbacks, and resolves
+// any outstanding drain with remaining=0.
+func (d *Device) finish(e *Exec) {
+	e.state = StateDone
+	d.remove(e)
+	d.emit(Event{Time: d.eng.Now(), Kind: EvComplete, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi})
+	if e.draining {
+		e.draining = false
+		if e.drainEv != nil {
+			e.drainEv.Cancel()
+			e.drainEv = nil
+		}
+		if e.cfg.OnDrained != nil {
+			cb := e.cfg.OnDrained
+			d.eng.Schedule(0, func() { cb(0) })
+		}
+	}
+	if e.cfg.OnComplete != nil {
+		cb := e.cfg.OnComplete
+		d.eng.Schedule(0, func() { cb() })
+	}
+	d.recomputeRates()
+	d.reschedule()
+}
+
+func (d *Device) remove(e *Exec) {
+	for i, x := range d.execs {
+		if x == e {
+			d.execs = append(d.execs[:i], d.execs[i+1:]...)
+			return
+		}
+	}
+}
+
+func (d *Device) emit(ev Event) {
+	if d.Observer != nil {
+		d.Observer(ev)
+	}
+}
+
+// Preempt asks a persistent execution to yield yieldSMs SMs (counted from
+// the low end of its range, matching the paper's "SMs of ID smaller than
+// spa_P" rule). yieldSMs at or above the execution's SM span is a temporal
+// preemption: the whole execution stops after the drain. OnDrained fires
+// when the SMs are free. A second Preempt while draining widens the yield.
+func (e *Exec) Preempt(yieldSMs int) error {
+	d := e.dev
+	switch e.state {
+	case StateDone, StateStopped:
+		return fmt.Errorf("gpu: preempting %s execution", e.state)
+	case StateLaunching:
+		// Not yet resident: cancel the launch outright; the flag would
+		// be set before any task runs.
+		e.launchEv.Cancel()
+		e.state = StateStopped
+		d.remove(e)
+		if e.cfg.OnDrained != nil {
+			cb := e.cfg.OnDrained
+			rem := e.Remaining()
+			d.eng.Schedule(0, func() { cb(rem) })
+		}
+		return nil
+	}
+	if yieldSMs <= 0 {
+		return fmt.Errorf("gpu: preempt with non-positive SM count %d", yieldSMs)
+	}
+	if yieldSMs > e.smHi-e.smLo {
+		yieldSMs = e.smHi - e.smLo
+	}
+	d.sync()
+	d.emit(Event{Time: d.eng.Now(), Kind: EvPreemptRequest, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smLo + yieldSMs, Remaining: e.Remaining()})
+	if e.draining {
+		if yieldSMs > e.drainYield {
+			e.drainYield = yieldSMs
+		}
+		return nil
+	}
+	e.draining = true
+	e.drainYield = yieldSMs
+	e.drainEv = d.eng.Schedule(e.drainTime(), func() { d.finishDrain(e) })
+	return nil
+}
+
+// drainTime models how long the yielding CTAs keep running after the CPU
+// sets the flag: flag propagation, plus on average half an amortization
+// batch of tasks, plus the final poll.
+func (e *Exec) drainTime() time.Duration {
+	pressure, mix := e.dev.globalFactors()
+	k := e.cfg.Profile.CTAsPerSM
+	if n := e.totalCTAs(); n > 0 && n < k*(e.smHi-e.smLo) {
+		// Sparse placement: per-SM occupancy is lower.
+		k = (n + (e.smHi - e.smLo) - 1) / (e.smHi - e.smLo)
+	}
+	per := e.perTask(k, pressure, mix)
+	batch := float64(e.cfg.L+1) / 2 * per
+	return e.dev.par.FlagPropagation + e.dev.par.PinnedReadLatency +
+		time.Duration(batch*float64(time.Second))
+}
+
+// finishDrain frees the yielded SMs. Temporal preemption stops the
+// execution; spatial preemption shrinks it onto its remaining SMs.
+func (d *Device) finishDrain(e *Exec) {
+	if e.state != StateRunning {
+		return
+	}
+	d.sync()
+	e.draining = false
+	e.drainEv = nil
+	yield := e.drainYield
+	remaining := e.Remaining()
+	if yield >= e.smHi-e.smLo || remaining == 0 {
+		// Whole execution yields.
+		e.state = StateStopped
+		d.remove(e)
+		d.emit(Event{Time: d.eng.Now(), Kind: EvDrained, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi, Remaining: remaining})
+		if e.cfg.OnDrained != nil {
+			cb := e.cfg.OnDrained
+			d.eng.Schedule(0, func() { cb(remaining) })
+		}
+	} else {
+		// Spatial: keep running on the high SMs.
+		e.smLo += yield
+		e.place()
+		d.emit(Event{Time: d.eng.Now(), Kind: EvDrained, Kernel: e.cfg.Profile.Name, SMLo: e.smLo - yield, SMHi: e.smLo, Remaining: remaining})
+		if e.cfg.OnDrained != nil {
+			cb := e.cfg.OnDrained
+			d.eng.Schedule(0, func() { cb(remaining) })
+		}
+	}
+	d.recomputeRates()
+	d.reschedule()
+}
+
+// Expand grows a running execution's SM range back down to lo, reclaiming
+// SMs freed by a departed spatial guest. The host realizes this by
+// relaunching the persistent kernel on the idle SMs (same device-resident
+// task counter), so one launch latency elapses before the new CTAs land.
+func (e *Exec) Expand(lo int) error {
+	d := e.dev
+	if e.state != StateRunning {
+		return fmt.Errorf("gpu: expanding %s execution", e.state)
+	}
+	if lo < 0 || lo >= e.smLo {
+		return fmt.Errorf("gpu: expand to [%d,...) does not grow range [%d,%d)", lo, e.smLo, e.smHi)
+	}
+	for _, other := range d.execs {
+		if other == e {
+			continue
+		}
+		if other.smLo < e.smLo && lo < other.smHi {
+			return fmt.Errorf("gpu: expand overlaps %s [%d,%d)", other.cfg.Profile.Name, other.smLo, other.smHi)
+		}
+	}
+	// Only the relaunched SMs start cold; scale the warm-up accordingly.
+	freed := e.smLo - lo
+	delay := d.par.LaunchLatency +
+		time.Duration(float64(d.par.ColdRestart)*float64(freed)/float64(d.par.Limits.NumSMs))
+	d.eng.Schedule(delay, func() {
+		if e.state != StateRunning || lo >= e.smLo {
+			return
+		}
+		// Re-validate: another execution may have taken the SMs while the
+		// relaunch was in flight.
+		for _, other := range d.execs {
+			if other != e && other.smLo < e.smLo && lo < other.smHi {
+				return
+			}
+		}
+		d.sync()
+		e.smLo = lo
+		e.place()
+		d.emit(Event{Time: d.eng.Now(), Kind: EvResident, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi, Remaining: e.Remaining()})
+		d.recomputeRates()
+		d.reschedule()
+	})
+	return nil
+}
+
+// Busy reports whether any execution is resident or launching.
+func (d *Device) Busy() bool { return len(d.execs) > 0 }
+
+// RunningKernels lists the names of resident executions (for tests/traces).
+func (d *Device) RunningKernels() []string {
+	var out []string
+	for _, e := range d.execs {
+		out = append(out, e.cfg.Profile.Name)
+	}
+	return out
+}

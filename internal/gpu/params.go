@@ -1,0 +1,109 @@
+// Package gpu models a Kepler-class GPU at the granularity FLEP cares
+// about: SMs with CTA slots, a non-preemptive hardware CTA dispatcher,
+// persistent-thread executions with flag polling, and the latency costs of
+// preemption. Execution progress is fluid (task rates between events)
+// driven by a discrete-event engine, which keeps million-task kernels cheap
+// to simulate while preserving wave, drain and contention behaviour.
+package gpu
+
+import (
+	"time"
+
+	"flep/internal/transform"
+)
+
+// Params are the device's calibration constants. All latencies model the
+// paper's testbed (K40, PCIe 3, CUDA 7.0); see DESIGN.md §6.
+type Params struct {
+	// Limits are the SM resource limits used for occupancy.
+	Limits transform.DeviceLimits
+
+	// LaunchLatency is the host-side cost of one kernel launch command
+	// (driver + command queue). Paid by every launch, which is what makes
+	// fine-grained kernel slicing expensive.
+	LaunchLatency time.Duration
+
+	// PinnedReadLatency is the device-visible cost of the CTA leader's
+	// read of the preemption flag in host pinned memory (one PCIe round
+	// trip amortized over the CTA), paid once per L tasks.
+	PinnedReadLatency time.Duration
+
+	// TaskAtomicLatency is the per-task cost of the global task-counter
+	// atomicAdd (pipelined device atomics).
+	TaskAtomicLatency time.Duration
+
+	// FlagPropagation is the delay from the CPU writing the pinned flag
+	// to device visibility.
+	FlagPropagation time.Duration
+
+	// ColdRestart is the warm-up penalty paid when a preempted kernel is
+	// relaunched: its working set (L2, TLB, icache) was evicted by the
+	// preempting kernel and must be re-fetched. Sequential slices of the
+	// same kernel do not pay it; preemption resumes do.
+	ColdRestart time.Duration
+
+	// MixBonus is the maximum per-task speedup when CTAs of kernels with
+	// different memory intensity co-reside on an SM (heterogeneous
+	// spatial sharing utilizes the SM better; paper §6.4).
+	MixBonus float64
+
+	// MemoryBytes is the device memory capacity. FLEP assumes co-running
+	// working sets fit (§8, "FLEP currently assumes the combined working
+	// set can fit into the device memory"); the model makes that
+	// assumption explicit: reservations beyond capacity are rejected.
+	MemoryBytes int64
+}
+
+// DefaultParams returns the calibrated K40 model.
+func DefaultParams() Params {
+	return Params{
+		Limits:            transform.K40(),
+		LaunchLatency:     6 * time.Microsecond,
+		PinnedReadLatency: 1200 * time.Nanosecond,
+		TaskAtomicLatency: 10 * time.Nanosecond,
+		FlagPropagation:   1 * time.Microsecond,
+		ColdRestart:       15 * time.Microsecond,
+		MixBonus:          0.08,
+		MemoryBytes:       12 << 30, // K40: 12 GB GDDR5
+	}
+}
+
+// KernelProfile is the execution-relevant shape of one kernel, derived
+// offline by the compilation engine (occupancy) and profiling (intensity).
+type KernelProfile struct {
+	// Name identifies the kernel in traces and metrics.
+	Name string
+	// ThreadsPerCTA is the CTA size.
+	ThreadsPerCTA int
+	// CTAsPerSM is the kernel's occupancy (max active CTAs per SM).
+	CTAsPerSM int
+	// MemoryIntensity in [0,1]: fraction of task time bound by the
+	// memory system; drives contention and mix effects.
+	MemoryIntensity float64
+	// ContentionFloor in (0,1]: relative task duration when a CTA runs
+	// alone on an SM versus at full occupancy. Memory-bound kernels with
+	// good latency hiding have a low floor (lone CTAs run much faster);
+	// compute-saturated kernels sit near 1.
+	ContentionFloor float64
+}
+
+// speedFactor returns the task-duration multiplier when the host SM has k
+// resident CTAs, with kmax the kernel's occupancy. Calibrated so full
+// occupancy is 1.0 (solo-run times are measured at full occupancy).
+func (p *KernelProfile) speedFactor(k int) float64 {
+	kmax := p.CTAsPerSM
+	if kmax <= 0 {
+		kmax = 1
+	}
+	if k > kmax {
+		k = kmax
+	}
+	if k < 1 {
+		k = 1
+	}
+	f := p.ContentionFloor
+	if f <= 0 || f > 1 {
+		f = 1
+	}
+	return f + (1-f)*float64(k)/float64(kmax)
+}

@@ -1,0 +1,30 @@
+package kernels
+
+import (
+	"testing"
+
+	"flep/internal/transform"
+)
+
+// The static cost estimator is an order-of-magnitude device for custom
+// kernels (hostexec); on the calibrated suite it must stay within ~30x of
+// the Table-1-matching costs (which encode measured effects — divergence,
+// cache behaviour — invisible to a static scan).
+func TestStaticCostEstimateVsCalibration(t *testing.T) {
+	for _, b := range All() {
+		prog, err := b.Parse()
+		if err != nil {
+			t.Fatal(err)
+		}
+		est := transform.EstimateTaskCost(prog, prog.Kernel(b.KernelName), b.ThreadsPerCTA, transform.DefaultCostParams())
+		cal := b.Input(Large).TaskCost
+		ratio := est.Seconds() / cal.Seconds()
+		t.Logf("%-5s estimated %10v calibrated %10v ratio %.2f", b.Name, est, cal, ratio)
+		if est <= 0 {
+			t.Errorf("%s: non-positive estimate", b.Name)
+		}
+		if ratio < 0.03 || ratio > 30 {
+			t.Errorf("%s: estimate off by %.1fx", b.Name, ratio)
+		}
+	}
+}

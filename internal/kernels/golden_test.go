@@ -1,0 +1,65 @@
+package kernels
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	cl "flep/internal/cudalite"
+	"flep/internal/transform"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// TestGoldenTransforms pins the exact transformed source of the VA kernel
+// in all three modes and of the MM kernel (2D, shared memory) in spatial
+// mode. Run with -update to regenerate after an intentional change.
+func TestGoldenTransforms(t *testing.T) {
+	cases := []struct {
+		file   string
+		bench  string
+		kernel string
+		mode   transform.Mode
+	}{
+		{"va_naive.cu", "VA", "va", transform.ModeTemporalNaive},
+		{"va_temporal.cu", "VA", "va", transform.ModeTemporal},
+		{"va_spatial.cu", "VA", "va", transform.ModeSpatial},
+		{"mm_spatial.cu", "MM", "mm", transform.ModeSpatial},
+	}
+	for _, c := range cases {
+		c := c
+		t.Run(c.file, func(t *testing.T) {
+			b, err := ByName(c.bench)
+			if err != nil {
+				t.Fatal(err)
+			}
+			prog, err := cl.Parse(b.Source)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out, _, err := transform.TransformKernel(prog, c.kernel, c.mode)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := cl.Format(out)
+			path := filepath.Join("testdata", c.file)
+			if *update {
+				if err := os.MkdirAll("testdata", 0o755); err != nil {
+					t.Fatal(err)
+				}
+				if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update): %v", err)
+			}
+			if got != string(want) {
+				t.Errorf("transformed source differs from %s;\nrun `go test ./internal/kernels -run Golden -update` if intentional\n--- got ---\n%s", path, got)
+			}
+		})
+	}
+}

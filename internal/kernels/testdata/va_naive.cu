@@ -1,0 +1,40 @@
+__global__ void va(float* a, float* b, float* c, int n) {
+    int i = blockIdx.x * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+__device__ void va_flep_task(float* a, float* b, float* c, int n, int flep_bx, int flep_by, int flep_grid_x, int flep_grid_y) {
+    int i = flep_bx * blockDim.x + threadIdx.x;
+    if (i < n) {
+        c[i] = a[i] + b[i];
+    }
+}
+
+__global__ void va_flep(float* a, float* b, float* c, int n, volatile unsigned int* flep_preempt, int* flep_next_task, int flep_num_tasks, int flep_grid_x, int flep_grid_y) {
+    __shared__ int flep_task;
+    __shared__ int flep_stop;
+    while (1) {
+        if (threadIdx.x == 0 && threadIdx.y == 0) {
+            if (*flep_preempt != 0) {
+                flep_stop = 1;
+            } else {
+                flep_stop = 0;
+            }
+        }
+        __syncthreads();
+        if (flep_stop == 1) {
+            return;
+        }
+        if (threadIdx.x == 0 && threadIdx.y == 0) {
+            flep_task = atomicAdd(flep_next_task, 1);
+        }
+        __syncthreads();
+        if (flep_task >= flep_num_tasks) {
+            return;
+        }
+        va_flep_task(a, b, c, n, flep_task % flep_grid_x, flep_task / flep_grid_x, flep_grid_x, flep_grid_y);
+        __syncthreads();
+    }
+}

@@ -1,0 +1,147 @@
+// Package metrics implements the multiprogram performance metrics the
+// paper evaluates with: System Throughput (STP) and Average Normalized
+// Turnaround Time (ANTT) as defined by Eyerman & Eeckhout, plus speedups,
+// performance degradation, and GPU-share accounting for fairness runs.
+package metrics
+
+import (
+	"fmt"
+	"time"
+)
+
+// KernelRun records one kernel invocation's timing in a co-run experiment.
+type KernelRun struct {
+	Name string
+	// Alone is the kernel's solo execution time (no co-runners).
+	Alone time.Duration
+	// Turnaround is waiting time plus execution time in the co-run.
+	Turnaround time.Duration
+}
+
+// NTT returns the run's normalized turnaround time T_co/T_alone (≥ 1 for
+// any correct schedule modulo measurement effects).
+func (r KernelRun) NTT() float64 {
+	if r.Alone <= 0 {
+		return 0
+	}
+	return r.Turnaround.Seconds() / r.Alone.Seconds()
+}
+
+// ANTT is the average normalized turnaround time across runs: the paper's
+// responsiveness metric (lower is better).
+func ANTT(runs []KernelRun) float64 {
+	if len(runs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, r := range runs {
+		sum += r.NTT()
+	}
+	return sum / float64(len(runs))
+}
+
+// STP is system throughput: Σ T_alone/T_co (higher is better, max = #runs).
+func STP(runs []KernelRun) float64 {
+	sum := 0.0
+	for _, r := range runs {
+		if r.Turnaround > 0 {
+			sum += r.Alone.Seconds() / r.Turnaround.Seconds()
+		}
+	}
+	return sum
+}
+
+// Speedup returns base/improved: how much faster the improved turnaround is.
+func Speedup(base, improved time.Duration) float64 {
+	if improved <= 0 {
+		return 0
+	}
+	return base.Seconds() / improved.Seconds()
+}
+
+// Degradation returns the paper's per-kernel performance degradation
+// (T_w + T_e)/T_e, identical to NTT when turnaround = waiting + execution.
+func Degradation(waiting, execution time.Duration) float64 {
+	if execution <= 0 {
+		return 0
+	}
+	return (waiting + execution).Seconds() / execution.Seconds()
+}
+
+// ShareSample is one point of a GPU-share time series.
+type ShareSample struct {
+	At    time.Duration
+	Share map[string]float64 // kernel name → fraction of the window
+}
+
+// ShareAccumulator integrates per-kernel GPU occupation over time and
+// emits windowed share samples (Figure 13's curves).
+type ShareAccumulator struct {
+	window  time.Duration
+	last    time.Duration
+	current string
+	busy    map[string]time.Duration
+	samples []ShareSample
+	start   time.Duration
+}
+
+// NewShareAccumulator samples shares every window of virtual time.
+func NewShareAccumulator(window time.Duration) *ShareAccumulator {
+	if window <= 0 {
+		panic("metrics: non-positive share window")
+	}
+	return &ShareAccumulator{window: window, busy: map[string]time.Duration{}}
+}
+
+// Observe records that `name` (or "" for idle) occupies the GPU from `at`
+// onward. Calls must have non-decreasing times.
+func (s *ShareAccumulator) Observe(at time.Duration, name string) {
+	if at < s.last {
+		panic(fmt.Sprintf("metrics: time went backwards: %v < %v", at, s.last))
+	}
+	s.flushWindows(at)
+	if s.current != "" {
+		s.busy[s.current] += at - s.last
+	}
+	s.last = at
+	s.current = name
+}
+
+// flushWindows closes any complete windows before `at`.
+func (s *ShareAccumulator) flushWindows(at time.Duration) {
+	for at-s.start >= s.window {
+		edge := s.start + s.window
+		if s.current != "" && edge > s.last {
+			s.busy[s.current] += edge - s.last
+			s.last = edge
+		}
+		share := map[string]float64{}
+		for k, v := range s.busy {
+			share[k] = v.Seconds() / s.window.Seconds()
+		}
+		s.samples = append(s.samples, ShareSample{At: edge, Share: share})
+		s.busy = map[string]time.Duration{}
+		s.start = edge
+		if s.last < edge {
+			s.last = edge
+		}
+	}
+}
+
+// Samples finalizes accounting up to `until` and returns the window series.
+func (s *ShareAccumulator) Samples(until time.Duration) []ShareSample {
+	s.Observe(until, s.current)
+	return s.samples
+}
+
+// MeanShare averages a kernel's share across all samples.
+func MeanShare(samples []ShareSample, name string) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, smp := range samples {
+		sum += smp.Share[name]
+	}
+	return sum / float64(len(samples))
+}

@@ -1,0 +1,171 @@
+// Package sim provides a deterministic discrete-event simulation engine.
+//
+// All FLEP components run against a virtual clock owned by an Engine.
+// Events are ordered by (time, sequence number), so simulations are fully
+// reproducible: scheduling the same events always yields the same execution
+// order regardless of map iteration or goroutine scheduling (the engine is
+// single-threaded by design).
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Event is a callback scheduled to run at a virtual time.
+type Event struct {
+	when     time.Duration
+	seq      uint64
+	fn       func()
+	canceled bool
+	index    int // heap index; -1 when not queued
+}
+
+// Cancel prevents the event from firing. Canceling an already-fired or
+// already-canceled event is a no-op.
+func (e *Event) Cancel() {
+	if e != nil {
+		e.canceled = true
+	}
+}
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e != nil && e.canceled }
+
+// When returns the virtual time the event is scheduled for.
+func (e *Event) When() time.Duration { return e.when }
+
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].when != q[j].when {
+		return q[i].when < q[j].when
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator.
+// The zero value is ready to use.
+type Engine struct {
+	now     time.Duration
+	seq     uint64
+	queue   eventQueue
+	running bool
+}
+
+// New returns a fresh engine with the clock at zero.
+func New() *Engine { return &Engine{} }
+
+// Now returns the current virtual time.
+func (e *Engine) Now() time.Duration { return e.now }
+
+// Schedule runs fn after delay of virtual time. A negative delay is an
+// error in the caller; Schedule panics to surface it immediately.
+func (e *Engine) Schedule(delay time.Duration, fn func()) *Event {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// At runs fn at absolute virtual time when, which must not be in the past.
+func (e *Engine) At(when time.Duration, fn func()) *Event {
+	if when < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past (%v < %v)", when, e.now))
+	}
+	if fn == nil {
+		panic("sim: nil event func")
+	}
+	e.seq++
+	ev := &Event{when: when, seq: e.seq, fn: fn, index: -1}
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// Pending returns the number of queued (possibly canceled) events.
+func (e *Engine) Pending() int { return len(e.queue) }
+
+// Step fires the earliest pending event, advancing the clock to its time.
+// It reports whether an event fired.
+func (e *Engine) Step() bool {
+	for len(e.queue) > 0 {
+		ev := heap.Pop(&e.queue).(*Event)
+		if ev.canceled {
+			continue
+		}
+		e.now = ev.when
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run fires events until the queue is empty, returning the final clock.
+func (e *Engine) Run() time.Duration {
+	if e.running {
+		panic("sim: Run called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil fires events with time ≤ deadline, then sets the clock to
+// deadline (if it is ahead of the last fired event). It returns the clock.
+func (e *Engine) RunUntil(deadline time.Duration) time.Duration {
+	if e.running {
+		panic("sim: RunUntil called reentrantly")
+	}
+	e.running = true
+	defer func() { e.running = false }()
+	for len(e.queue) > 0 {
+		next := e.peek()
+		if next == nil {
+			break
+		}
+		if next.when > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline {
+		e.now = deadline
+	}
+	return e.now
+}
+
+// peek returns the earliest non-canceled event without firing it, popping
+// canceled events as it goes.
+func (e *Engine) peek() *Event {
+	for len(e.queue) > 0 {
+		ev := e.queue[0]
+		if !ev.canceled {
+			return ev
+		}
+		heap.Pop(&e.queue)
+	}
+	return nil
+}

@@ -1,0 +1,165 @@
+// Package trace records device and runtime events from a simulation run
+// and exports them as human-readable logs, CSV, JSON, or Gantt rows for
+// inspection and debugging.
+package trace
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"time"
+
+	"flep/internal/gpu"
+)
+
+// Entry is one recorded event.
+type Entry struct {
+	Time   time.Duration `json:"time_ns"`
+	Source string        `json:"source"` // "device" or "runtime"
+	Kind   string        `json:"kind"`
+	Kernel string        `json:"kernel"`
+	SMLo   int           `json:"sm_lo"`
+	SMHi   int           `json:"sm_hi"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Log collects entries in time order (the simulator is single-threaded, so
+// appends arrive ordered).
+type Log struct {
+	entries []Entry
+}
+
+// Add appends an entry.
+func (l *Log) Add(e Entry) { l.entries = append(l.entries, e) }
+
+// Runtime records a runtime-engine event.
+func (l *Log) Runtime(at time.Duration, kind, kernel, detail string) {
+	l.Add(Entry{Time: at, Source: "runtime", Kind: kind, Kernel: kernel, Detail: detail})
+}
+
+// DeviceObserver returns a gpu.Device observer feeding this log.
+func (l *Log) DeviceObserver() func(gpu.Event) {
+	return func(ev gpu.Event) {
+		l.Add(Entry{
+			Time: ev.Time, Source: "device", Kind: ev.Kind.String(),
+			Kernel: ev.Kernel, SMLo: ev.SMLo, SMHi: ev.SMHi,
+			Detail: fmt.Sprintf("remaining=%d", ev.Remaining),
+		})
+	}
+}
+
+// Entries returns the recorded entries.
+func (l *Log) Entries() []Entry { return l.entries }
+
+// Len returns the entry count.
+func (l *Log) Len() int { return len(l.entries) }
+
+// Filter returns the entries matching kind ("" matches all).
+func (l *Log) Filter(kind string) []Entry {
+	var out []Entry
+	for _, e := range l.entries {
+		if kind == "" || e.Kind == kind {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// WriteText writes a human-readable log.
+func (l *Log) WriteText(w io.Writer) error {
+	for _, e := range l.entries {
+		_, err := fmt.Fprintf(w, "%12v %-8s %-8s %-8s [%2d,%2d) %s\n",
+			e.Time, e.Source, e.Kind, e.Kernel, e.SMLo, e.SMHi, e.Detail)
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteCSV writes the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"time_us", "source", "kind", "kernel", "sm_lo", "sm_hi", "detail"}); err != nil {
+		return err
+	}
+	for _, e := range l.entries {
+		rec := []string{
+			strconv.FormatFloat(float64(e.Time)/float64(time.Microsecond), 'f', 3, 64),
+			e.Source, e.Kind, e.Kernel,
+			strconv.Itoa(e.SMLo), strconv.Itoa(e.SMHi), e.Detail,
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteJSON writes the log as a JSON array.
+func (l *Log) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(l.entries)
+}
+
+// GanttRow is one kernel's residency span on a set of SMs.
+type GanttRow struct {
+	Kernel     string
+	SMLo, SMHi int
+	Start, End time.Duration
+}
+
+// Gantt reconstructs kernel residency spans from device resident/complete/
+// drained events: one row per contiguous residency.
+func (l *Log) Gantt() []GanttRow {
+	type open struct {
+		start      time.Duration
+		smLo, smHi int
+	}
+	active := map[string]*open{}
+	var rows []GanttRow
+	closeRow := func(k string, at time.Duration) {
+		if o, ok := active[k]; ok {
+			rows = append(rows, GanttRow{Kernel: k, SMLo: o.smLo, SMHi: o.smHi, Start: o.start, End: at})
+			delete(active, k)
+		}
+	}
+	for _, e := range l.entries {
+		if e.Source != "device" {
+			continue
+		}
+		switch e.Kind {
+		case "resident":
+			closeRow(e.Kernel, e.Time)
+			active[e.Kernel] = &open{start: e.Time, smLo: e.SMLo, smHi: e.SMHi}
+		case "complete":
+			closeRow(e.Kernel, e.Time)
+		case "drained":
+			if o, ok := active[e.Kernel]; ok {
+				// Spatial drain shrinks the span: close and reopen.
+				rows = append(rows, GanttRow{Kernel: e.Kernel, SMLo: o.smLo, SMHi: o.smHi, Start: o.start, End: e.Time})
+				if e.SMHi < o.smHi {
+					active[e.Kernel] = &open{start: e.Time, smLo: e.SMHi, smHi: o.smHi}
+				} else {
+					delete(active, e.Kernel)
+				}
+			}
+		}
+	}
+	// Close any still-open rows at their start (zero-width, visible).
+	names := make([]string, 0, len(active))
+	for k := range active {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		o := active[k]
+		rows = append(rows, GanttRow{Kernel: k, SMLo: o.smLo, SMHi: o.smHi, Start: o.start, End: o.start})
+	}
+	return rows
+}

@@ -1,0 +1,211 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/csv"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+
+	"flep/internal/gpu"
+	"flep/internal/sim"
+)
+
+func us(v float64) time.Duration { return time.Duration(v * float64(time.Microsecond)) }
+
+func TestRuntimeAndFilter(t *testing.T) {
+	var l Log
+	l.Runtime(us(1), "submit", "k1", "id=1")
+	l.Runtime(us(2), "dispatch", "k1", "")
+	l.Runtime(us(3), "submit", "k2", "id=2")
+	if l.Len() != 3 {
+		t.Fatalf("len = %d", l.Len())
+	}
+	subs := l.Filter("submit")
+	if len(subs) != 2 || subs[1].Kernel != "k2" {
+		t.Fatalf("filter = %+v", subs)
+	}
+	if len(l.Filter("")) != 3 {
+		t.Fatal("empty filter should match all")
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	var l Log
+	l.Runtime(us(5), "preempt", "nn", "for=spmv")
+	var buf bytes.Buffer
+	if err := l.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"preempt", "nn", "for=spmv"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("text log missing %q: %s", want, out)
+		}
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(1), Source: "device", Kind: "launch", Kernel: "k", SMLo: 0, SMHi: 15})
+	var buf bytes.Buffer
+	if err := l.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("rows = %d", len(recs))
+	}
+	if recs[0][0] != "time_us" || recs[1][2] != "launch" {
+		t.Fatalf("csv = %v", recs)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(2), Source: "runtime", Kind: "submit", Kernel: "k"})
+	var buf bytes.Buffer
+	if err := l.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var entries []Entry
+	if err := json.Unmarshal(buf.Bytes(), &entries); err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 || entries[0].Kernel != "k" || entries[0].Time != us(2) {
+		t.Fatalf("json roundtrip = %+v", entries)
+	}
+}
+
+func TestDeviceObserverIntegration(t *testing.T) {
+	eng := sim.New()
+	dev := gpu.New(eng, gpu.DefaultParams())
+	var l Log
+	dev.Observer = l.DeviceObserver()
+	prof := &gpu.KernelProfile{Name: "k", ThreadsPerCTA: 256, CTAsPerSM: 8, MemoryIntensity: 0.5, ContentionFloor: 0.8}
+	if _, err := dev.Start(gpu.ExecConfig{Profile: prof, TotalTasks: 120, TaskCost: us(10), SMLo: 0, SMHi: 15}); err != nil {
+		t.Fatal(err)
+	}
+	eng.Run()
+	kinds := map[string]bool{}
+	for _, e := range l.Entries() {
+		kinds[e.Kind] = true
+		if e.Source != "device" {
+			t.Fatalf("source = %s", e.Source)
+		}
+	}
+	for _, want := range []string{"launch", "resident", "complete"} {
+		if !kinds[want] {
+			t.Errorf("missing device event %s", want)
+		}
+	}
+}
+
+func TestGanttSimpleLifecycle(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(6), Source: "device", Kind: "resident", Kernel: "a", SMLo: 0, SMHi: 15})
+	l.Add(Entry{Time: us(100), Source: "device", Kind: "complete", Kernel: "a", SMLo: 0, SMHi: 15})
+	rows := l.Gantt()
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Kernel != "a" || r.Start != us(6) || r.End != us(100) || r.SMLo != 0 || r.SMHi != 15 {
+		t.Fatalf("row = %+v", r)
+	}
+}
+
+func TestGanttSpatialShrink(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(6), Source: "device", Kind: "resident", Kernel: "a", SMLo: 0, SMHi: 15})
+	// Spatial drain frees SMs [0,5): the drained event reports that range.
+	l.Add(Entry{Time: us(50), Source: "device", Kind: "drained", Kernel: "a", SMLo: 0, SMHi: 5})
+	l.Add(Entry{Time: us(200), Source: "device", Kind: "complete", Kernel: "a", SMLo: 5, SMHi: 15})
+	rows := l.Gantt()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].SMHi != 15 || rows[0].End != us(50) {
+		t.Fatalf("first span = %+v", rows[0])
+	}
+	if rows[1].SMLo != 5 || rows[1].Start != us(50) || rows[1].End != us(200) {
+		t.Fatalf("second span = %+v", rows[1])
+	}
+}
+
+func TestGanttTemporalStopAndResume(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(6), Source: "device", Kind: "resident", Kernel: "a", SMLo: 0, SMHi: 15})
+	l.Add(Entry{Time: us(50), Source: "device", Kind: "drained", Kernel: "a", SMLo: 0, SMHi: 15})
+	l.Add(Entry{Time: us(80), Source: "device", Kind: "resident", Kernel: "a", SMLo: 0, SMHi: 15})
+	l.Add(Entry{Time: us(150), Source: "device", Kind: "complete", Kernel: "a", SMLo: 0, SMHi: 15})
+	rows := l.Gantt()
+	if len(rows) != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].End != us(50) || rows[1].Start != us(80) {
+		t.Fatalf("spans = %+v", rows)
+	}
+}
+
+func TestGanttIgnoresRuntimeEntries(t *testing.T) {
+	var l Log
+	l.Runtime(us(1), "resident", "x", "")
+	if len(l.Gantt()) != 0 {
+		t.Fatal("runtime entries leaked into Gantt")
+	}
+}
+
+func TestGanttOpenRowsClosed(t *testing.T) {
+	var l Log
+	l.Add(Entry{Time: us(6), Source: "device", Kind: "resident", Kernel: "open", SMLo: 0, SMHi: 15})
+	rows := l.Gantt()
+	if len(rows) != 1 || rows[0].Start != rows[0].End {
+		t.Fatalf("open row not emitted zero-width: %+v", rows)
+	}
+}
+
+// End-to-end: a spatial preemption run through the device yields a Gantt
+// where spans never overlap on the same SM at the same time.
+func TestGanttNoSMOverlap(t *testing.T) {
+	eng := sim.New()
+	dev := gpu.New(eng, gpu.DefaultParams())
+	var l Log
+	dev.Observer = l.DeviceObserver()
+	victim := &gpu.KernelProfile{Name: "victim", ThreadsPerCTA: 256, CTAsPerSM: 8, MemoryIntensity: 0.5, ContentionFloor: 0.8}
+	guest := &gpu.KernelProfile{Name: "guest", ThreadsPerCTA: 256, CTAsPerSM: 8, MemoryIntensity: 0.2, ContentionFloor: 0.9}
+	e, err := dev.Start(gpu.ExecConfig{
+		Profile: victim, TotalTasks: 12000, TaskCost: us(100),
+		Persistent: true, L: 2, SMLo: 0, SMHi: 15,
+		OnDrained: func(rem int) {
+			if _, err := dev.Start(gpu.ExecConfig{
+				Profile: guest, TotalTasks: 40, TaskCost: us(50),
+				Persistent: true, L: 1, SMLo: 0, SMHi: 5,
+			}); err != nil {
+				t.Errorf("guest: %v", err)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng.Schedule(us(1000), func() { e.Preempt(5) })
+	eng.Run()
+	rows := l.Gantt()
+	for i, a := range rows {
+		for _, b := range rows[i+1:] {
+			if a.Kernel == b.Kernel {
+				continue
+			}
+			smOverlap := a.SMLo < b.SMHi && b.SMLo < a.SMHi
+			timeOverlap := a.Start < b.End && b.Start < a.End
+			if smOverlap && timeOverlap {
+				t.Fatalf("overlapping spans: %+v vs %+v", a, b)
+			}
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package transform
+
+import "fmt"
+
+// DeviceLimits captures the SM resource limits relevant to occupancy.
+// The defaults model the paper's NVIDIA K40 (Kepler GK110B).
+type DeviceLimits struct {
+	NumSMs           int
+	MaxThreadsPerSM  int
+	MaxCTAsPerSM     int
+	RegsPerSM        int
+	SharedBytesPerSM int
+	MaxThreadsPerCTA int
+	WarpSize         int
+}
+
+// K40 returns the device limits of the paper's evaluation GPU: 15 SMs,
+// 2048 threads/SM, 16 CTAs/SM, 64K registers/SM, 48 KiB shared/SM.
+func K40() DeviceLimits {
+	return DeviceLimits{
+		NumSMs:           15,
+		MaxThreadsPerSM:  2048,
+		MaxCTAsPerSM:     16,
+		RegsPerSM:        65536,
+		SharedBytesPerSM: 48 * 1024,
+		MaxThreadsPerCTA: 1024,
+		WarpSize:         32,
+	}
+}
+
+// Occupancy is the result of the occupancy calculation for one kernel
+// configuration.
+type Occupancy struct {
+	// CTAsPerSM is the number of CTAs one SM can host concurrently
+	// (max_CTAs_per_SM in the paper).
+	CTAsPerSM int
+	// ActiveCTAs is the whole-device concurrent CTA capacity
+	// (num_SMs * CTAsPerSM): the persistent-thread launch size.
+	ActiveCTAs int
+	// Limiter names the binding resource: "threads", "ctas", "regs",
+	// or "shared".
+	Limiter string
+}
+
+// ComputeOccupancy applies the classic CUDA occupancy rules: the per-SM CTA
+// count is bounded by the thread limit, the CTA slot limit, the register
+// file, and shared memory; the minimum binds.
+func ComputeOccupancy(d DeviceLimits, res Resources, threadsPerCTA, dynamicSharedBytes int) (Occupancy, error) {
+	if threadsPerCTA <= 0 {
+		return Occupancy{}, fmt.Errorf("transform: non-positive CTA size %d", threadsPerCTA)
+	}
+	if threadsPerCTA > d.MaxThreadsPerCTA {
+		return Occupancy{}, fmt.Errorf("transform: CTA size %d exceeds device limit %d", threadsPerCTA, d.MaxThreadsPerCTA)
+	}
+	// Threads are allocated in warp granularity.
+	warps := (threadsPerCTA + d.WarpSize - 1) / d.WarpSize
+	allocThreads := warps * d.WarpSize
+
+	limit := d.MaxThreadsPerSM / allocThreads
+	limiter := "threads"
+	if d.MaxCTAsPerSM < limit {
+		limit = d.MaxCTAsPerSM
+		limiter = "ctas"
+	}
+	if res.RegsPerThread > 0 {
+		byRegs := d.RegsPerSM / (res.RegsPerThread * allocThreads)
+		if byRegs < limit {
+			limit = byRegs
+			limiter = "regs"
+		}
+	}
+	shared := res.StaticSharedBytes + dynamicSharedBytes
+	if shared > 0 {
+		byShared := d.SharedBytesPerSM / shared
+		if byShared < limit {
+			limit = byShared
+			limiter = "shared"
+		}
+	}
+	if limit <= 0 {
+		return Occupancy{}, fmt.Errorf("transform: kernel does not fit on one SM (limiter %s)", limiter)
+	}
+	return Occupancy{
+		CTAsPerSM:  limit,
+		ActiveCTAs: limit * d.NumSMs,
+		Limiter:    limiter,
+	}, nil
+}
+
+// SMsNeeded returns how many SMs are required to host launchedCTAs
+// concurrently at the given occupancy: the spatial-preemption sizing rule
+// ("preempt just enough SMs to host those CTAs").
+func SMsNeeded(o Occupancy, launchedCTAs int, d DeviceLimits) int {
+	if launchedCTAs <= 0 {
+		return 0
+	}
+	n := (launchedCTAs + o.CTAsPerSM - 1) / o.CTAsPerSM
+	if n > d.NumSMs {
+		n = d.NumSMs
+	}
+	return n
+}
