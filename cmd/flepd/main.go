@@ -1,0 +1,158 @@
+// Command flepd is the FLEP scheduling daemon: it builds the offline
+// artifacts for the selected benchmarks at startup, then serves
+// kernel-launch requests from concurrent clients over HTTP, routing them
+// through the FLEP runtime engine (HPF or FFS) on the simulated K40.
+//
+// Usage:
+//
+//	flepd -addr :7450 -policy hpf -spatial -bench VA,MM,SPMV -trace
+//
+// Endpoints:
+//
+//	POST /v1/launch     submit a kernel invocation; blocks until done
+//	GET  /v1/status     daemon counters, queue depth, virtual clock
+//	GET  /v1/sessions   per-client sessions (Figure 5 host states)
+//	GET  /v1/benchmarks loaded kernels, tuned L, solo baselines
+//	GET  /v1/trace      runtime+device event log (with -trace)
+//	POST /v1/pause      park the scheduler (arrivals queue up)
+//	POST /v1/resume     unpark
+//	GET  /healthz       liveness (503 while draining)
+//
+// SIGINT/SIGTERM starts a graceful drain: new launches get 503, queued
+// and in-flight invocations run to completion, then the process exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"flep/internal/server"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":7450", "listen address")
+		policy       = flag.String("policy", "hpf", "scheduling policy: hpf, hpf-naive, or ffs")
+		spatial      = flag.Bool("spatial", false, "enable spatial preemption (HPF only)")
+		spatialSMs   = flag.Int("spatial-sms", 0, "override yielded SM count for spatial preemption")
+		maxOverhead  = flag.Float64("max-overhead", 0.10, "FFS overhead budget")
+		weightsFlag  = flag.String("weights", "", "FFS priority weights, e.g. 1=1,2=2")
+		benchFlag    = flag.String("bench", "all", "benchmarks to load: comma-separated names or all")
+		queueDepth   = flag.Int("queue", 256, "admission queue depth (backpressure bound)")
+		reqTimeout   = flag.Duration("timeout", 30*time.Second, "per-request completion wait bound")
+		traceOn      = flag.Bool("trace", false, "keep a runtime+device event log at /v1/trace")
+		traceLimit   = flag.Int("trace-limit", 65536, "max retained trace entries")
+		pace         = flag.Duration("pace", 0, "real-time sleep per simulated event (0 = full speed)")
+		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain bound")
+	)
+	flag.Parse()
+
+	weights, err := parseWeights(*weightsFlag)
+	if err != nil {
+		log.Fatalf("flepd: %v", err)
+	}
+	cfg := server.Config{
+		Policy:         *policy,
+		Spatial:        *spatial,
+		SpatialSMs:     *spatialSMs,
+		MaxOverhead:    *maxOverhead,
+		Weights:        weights,
+		Benchmarks:     parseBenchList(*benchFlag),
+		QueueDepth:     *queueDepth,
+		RequestTimeout: *reqTimeout,
+		Trace:          *traceOn,
+		TraceLimit:     *traceLimit,
+		Pace:           *pace,
+		Logf:           log.Printf,
+	}
+
+	log.Printf("flepd: building offline artifacts (policy=%s spatial=%v)", cfg.Policy, cfg.Spatial)
+	start := time.Now()
+	srv, err := server.New(cfg)
+	if err != nil {
+		log.Fatalf("flepd: %v", err)
+	}
+	log.Printf("flepd: offline phase done in %v", time.Since(start).Round(time.Millisecond))
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
+	errCh := make(chan error, 1)
+	go func() { errCh <- httpSrv.ListenAndServe() }()
+	log.Printf("flepd: serving on %s", *addr)
+
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case sig := <-sigCh:
+		log.Printf("flepd: %v: draining (bound %v)", sig, *drainTimeout)
+	case err := <-errCh:
+		log.Fatalf("flepd: serve: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
+		log.Printf("flepd: drain incomplete: %v", err)
+	} else {
+		log.Printf("flepd: drained cleanly at virtual %v", srv.VirtualNow())
+	}
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("flepd: http shutdown: %v", err)
+	}
+	c := srv.Counters()
+	log.Printf("flepd: enqueued=%d completed=%d submit_errors=%d rejected_full=%d timed_out=%d",
+		c["enqueued"], c["completed"], c["submit_errors"], c["rejected_queue_full"], c["timed_out"])
+	if c["completed"]+c["submit_errors"] != c["enqueued"] {
+		log.Fatalf("flepd: exactly-once invariant violated at exit")
+	}
+}
+
+// parseBenchList turns "VA,MM" into a name slice; "all"/"" selects the
+// whole suite (nil).
+func parseBenchList(s string) []string {
+	s = strings.TrimSpace(s)
+	if s == "" || strings.EqualFold(s, "all") {
+		return nil
+	}
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// parseWeights parses "1=1,2=2.5" into a priority→weight map.
+func parseWeights(s string) (map[int]float64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	out := map[int]float64{}
+	for _, f := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad weight %q (want PRIO=WEIGHT)", f)
+		}
+		prio, err := strconv.Atoi(k)
+		if err != nil {
+			return nil, fmt.Errorf("bad priority in %q: %v", f, err)
+		}
+		w, err := strconv.ParseFloat(v, 64)
+		if err != nil || w <= 0 {
+			return nil, fmt.Errorf("bad weight in %q", f)
+		}
+		out[prio] = w
+	}
+	return out, nil
+}

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestParseBenchList(t *testing.T) {
+	if got := parseBenchList("all"); got != nil {
+		t.Fatalf("all: %v", got)
+	}
+	if got := parseBenchList(""); got != nil {
+		t.Fatalf("empty: %v", got)
+	}
+	want := []string{"VA", "MM"}
+	if got := parseBenchList(" VA, MM "); !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %v, want %v", got, want)
+	}
+}
+
+func TestParseWeights(t *testing.T) {
+	w, err := parseWeights("1=1,2=2.5")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w) != 2 || w[1] != 1 || w[2] != 2.5 {
+		t.Fatalf("weights: %v", w)
+	}
+	if _, err := parseWeights("nope"); err == nil {
+		t.Fatal("accepted malformed weights")
+	}
+	if _, err := parseWeights("1=-3"); err == nil {
+		t.Fatal("accepted negative weight")
+	}
+	if w, err := parseWeights(""); err != nil || w != nil {
+		t.Fatalf("empty: %v %v", w, err)
+	}
+}

@@ -1,0 +1,425 @@
+// Command flepload drives a running flepd with concurrent client
+// sessions and reports serving metrics: throughput, real-time latency
+// percentiles, virtual-time turnaround, and ANTT (the paper's
+// responsiveness metric, computed from per-request solo-normalized
+// turnaround). It finishes by verifying the daemon's exactly-once
+// invariant: every accepted launch completed exactly once, with no lost
+// or duplicated invocations.
+//
+// Usage:
+//
+//	flepload -addr http://127.0.0.1:7450 -clients 100 -n 10 \
+//	         -bench VA,MM -class small -prio 1=0.7,2=0.3
+//
+// -rate 0 (default) runs closed-loop clients: each client submits its
+// next launch as soon as the previous one completes. A positive -rate
+// runs open-loop: each client submits every 1/rate seconds regardless of
+// completions, so the daemon's admission queue and 429 backpressure are
+// exercised. 429s are retried after the server's Retry-After hint and
+// do not count as failures.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"os"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// launchRequest mirrors server.LaunchRequest (flepload speaks only the
+// wire protocol; it does not import the server).
+type launchRequest struct {
+	Client    string  `json:"client,omitempty"`
+	Benchmark string  `json:"benchmark"`
+	Class     string  `json:"class,omitempty"`
+	Priority  int     `json:"priority,omitempty"`
+	Weight    float64 `json:"weight,omitempty"`
+	TimeoutMS int     `json:"timeout_ms,omitempty"`
+}
+
+// launchResult mirrors server.LaunchResult.
+type launchResult struct {
+	ID           int     `json:"id"`
+	Kernel       string  `json:"kernel"`
+	TurnaroundNS int64   `json:"turnaround_ns"`
+	WaitingNS    int64   `json:"waiting_ns"`
+	NTT          float64 `json:"ntt"`
+	Preemptions  int     `json:"preemptions"`
+	OverheadNS   int64   `json:"overhead_ns"`
+	Err          string  `json:"error"`
+}
+
+type statusBody struct {
+	Counters struct {
+		Enqueued     int64 `json:"enqueued"`
+		Completed    int64 `json:"completed"`
+		SubmitErrors int64 `json:"submit_errors"`
+		RejectedFull int64 `json:"rejected_queue_full"`
+		TimedOut     int64 `json:"timed_out"`
+	} `json:"counters"`
+	QueueLen int `json:"queue_len"`
+}
+
+type benchInfo struct {
+	Name string `json:"name"`
+}
+
+// sample is one completed request as seen by a client.
+type sample struct {
+	id          int
+	realLatency time.Duration
+	turnaround  time.Duration
+	waiting     time.Duration
+	ntt         float64
+	preemptions int
+}
+
+type stats struct {
+	mu       sync.Mutex
+	samples  []sample
+	retries  int64 // 429s absorbed
+	timeouts int64 // 504s
+	errors   int64
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7450", "flepd base URL")
+		clients  = flag.Int("clients", 100, "concurrent client sessions")
+		perC     = flag.Int("n", 10, "launches per client")
+		rate     = flag.Float64("rate", 0, "per-client open-loop launches/sec (0 = closed loop)")
+		benchCSV = flag.String("bench", "", "benchmarks to launch (empty = discover from daemon)")
+		class    = flag.String("class", "small", "input class: large, small, trivial")
+		prioMix  = flag.String("prio", "1=0.5,2=0.5", "priority mix, e.g. 1=0.7,2=0.3")
+		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request completion wait")
+		seed     = flag.Int64("seed", 1, "workload-mix random seed")
+		maxRetry = flag.Int("max-retries", 200, "max 429 retries per launch")
+	)
+	flag.Parse()
+
+	// Accept a bare host:port the way curl does.
+	if !strings.Contains(*addr, "://") {
+		*addr = "http://" + *addr
+	}
+
+	mix, err := parseMix(*prioMix)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	benches := splitCSV(*benchCSV)
+	if len(benches) == 0 {
+		benches, err = discoverBenchmarks(*addr)
+		if err != nil {
+			fatalf("discovering benchmarks: %v", err)
+		}
+	}
+	if len(benches) == 0 {
+		fatalf("no benchmarks to launch")
+	}
+	fmt.Printf("flepload: %d clients × %d launches, benches=%s class=%s mix=%s rate=%s\n",
+		*clients, *perC, strings.Join(benches, ","), *class, *prioMix, rateString(*rate))
+
+	httpc := &http.Client{Timeout: *timeout + 10*time.Second}
+	st := &stats{}
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < *clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			runClient(httpc, st, clientConfig{
+				addr: *addr, id: fmt.Sprintf("load-%04d", c),
+				benches: benches, class: *class, mix: mix,
+				n: *perC, rate: *rate, timeout: *timeout,
+				maxRetry: *maxRetry,
+				rng:      rand.New(rand.NewSource(*seed + int64(c))),
+			})
+		}(c)
+	}
+	wg.Wait()
+	wall := time.Since(start)
+
+	report(st, wall)
+	if err := verifyExactlyOnce(*addr, st); err != nil {
+		fmt.Printf("exactly-once:  FAIL: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Printf("exactly-once:  OK (no lost or duplicated invocations)\n")
+}
+
+type clientConfig struct {
+	addr, id string
+	benches  []string
+	class    string
+	mix      []prioShare
+	n        int
+	rate     float64
+	timeout  time.Duration
+	maxRetry int
+	rng      *rand.Rand
+}
+
+func runClient(httpc *http.Client, st *stats, cc clientConfig) {
+	var tick <-chan time.Time
+	if cc.rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cc.rate))
+		defer t.Stop()
+		tick = t.C
+	}
+	for i := 0; i < cc.n; i++ {
+		if tick != nil {
+			<-tick
+		}
+		req := launchRequest{
+			Client:    cc.id,
+			Benchmark: cc.benches[cc.rng.Intn(len(cc.benches))],
+			Class:     cc.class,
+			Priority:  pickPriority(cc.mix, cc.rng.Float64()),
+			TimeoutMS: int(cc.timeout / time.Millisecond),
+		}
+		launchOnce(httpc, st, cc, req)
+	}
+}
+
+// launchOnce submits one launch, absorbing 429 backpressure by honoring
+// Retry-After. Each accepted (non-429) submission is terminal.
+func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchRequest) {
+	body, _ := json.Marshal(req)
+	for attempt := 0; ; attempt++ {
+		begin := time.Now()
+		resp, err := httpc.Post(cc.addr+"/v1/launch", "application/json", bytes.NewReader(body))
+		if err != nil {
+			st.note(func() { st.errors++ })
+			return
+		}
+		var res launchResult
+		decErr := json.NewDecoder(resp.Body).Decode(&res)
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		switch {
+		case resp.StatusCode == http.StatusTooManyRequests:
+			st.note(func() { st.retries++ })
+			if attempt >= cc.maxRetry {
+				st.note(func() { st.errors++ })
+				return
+			}
+			time.Sleep(retryAfter(resp))
+			continue
+		case resp.StatusCode == http.StatusGatewayTimeout:
+			st.note(func() { st.timeouts++ })
+			return
+		case resp.StatusCode != http.StatusOK || decErr != nil:
+			st.note(func() { st.errors++ })
+			return
+		}
+		s := sample{
+			id:          res.ID,
+			realLatency: time.Since(begin),
+			turnaround:  time.Duration(res.TurnaroundNS),
+			waiting:     time.Duration(res.WaitingNS),
+			ntt:         res.NTT,
+			preemptions: res.Preemptions,
+		}
+		st.note(func() { st.samples = append(st.samples, s) })
+		return
+	}
+}
+
+func (st *stats) note(f func()) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	f()
+}
+
+func retryAfter(resp *http.Response) time.Duration {
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		var secs float64
+		if _, err := fmt.Sscanf(s, "%g", &secs); err == nil && secs > 0 {
+			// The hint is an upper bound for a lone client; jittered
+			// fraction avoids thundering-herd resubmission.
+			return time.Duration(secs * float64(time.Second) / 20)
+		}
+	}
+	return 50 * time.Millisecond
+}
+
+func report(st *stats, wall time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	n := len(st.samples)
+	fmt.Printf("\nrequests:      ok=%d timeouts=%d errors=%d backpressure-429s=%d\n",
+		n, st.timeouts, st.errors, st.retries)
+	fmt.Printf("wall time:     %v   throughput %.1f launches/s\n",
+		wall.Round(time.Millisecond), float64(n)/wall.Seconds())
+	if n == 0 {
+		return
+	}
+	lat := make([]time.Duration, n)
+	turn := make([]time.Duration, n)
+	var sumNTT, sumWait float64
+	var preempts int
+	for i, s := range st.samples {
+		lat[i], turn[i] = s.realLatency, s.turnaround
+		sumNTT += s.ntt
+		sumWait += float64(s.waiting)
+		preempts += s.preemptions
+	}
+	sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+	sort.Slice(turn, func(i, j int) bool { return turn[i] < turn[j] })
+	fmt.Printf("real latency:  p50=%v p90=%v p99=%v max=%v\n",
+		percentile(lat, 50).Round(time.Microsecond), percentile(lat, 90).Round(time.Microsecond),
+		percentile(lat, 99).Round(time.Microsecond), lat[n-1].Round(time.Microsecond))
+	fmt.Printf("virtual turn:  p50=%v p99=%v mean-wait=%v\n",
+		percentile(turn, 50).Round(time.Microsecond), percentile(turn, 99).Round(time.Microsecond),
+		time.Duration(sumWait/float64(n)).Round(time.Microsecond))
+	fmt.Printf("ANTT:          %.3f   preemptions=%d\n", sumNTT/float64(n), preempts)
+}
+
+// verifyExactlyOnce checks the acceptance invariant against both views:
+// client-side (every OK response carried a unique invocation ID) and
+// server-side (enqueued == completed + submit_errors once at rest).
+func verifyExactlyOnce(addr string, st *stats) error {
+	st.mu.Lock()
+	ids := map[int]int{}
+	for _, s := range st.samples {
+		ids[s.id]++
+	}
+	oks := len(st.samples)
+	timeouts := st.timeouts
+	st.mu.Unlock()
+	for id, c := range ids {
+		if c != 1 {
+			return fmt.Errorf("invocation id %d delivered %d times", id, c)
+		}
+	}
+	// Timed-out requests complete asynchronously; poll briefly for rest.
+	var sb statusBody
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/v1/status")
+		if err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sb)
+		resp.Body.Close()
+		if err != nil {
+			return fmt.Errorf("status: %w", err)
+		}
+		if sb.Counters.Completed+sb.Counters.SubmitErrors == sb.Counters.Enqueued {
+			break
+		}
+		if time.Now().After(deadline) {
+			return fmt.Errorf("daemon never reached rest: enqueued=%d completed=%d submit_errors=%d",
+				sb.Counters.Enqueued, sb.Counters.Completed, sb.Counters.SubmitErrors)
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if want := int64(oks) + timeouts; sb.Counters.Completed < want {
+		return fmt.Errorf("daemon completed %d < client-observed %d", sb.Counters.Completed, want)
+	}
+	return nil
+}
+
+// ---- small helpers ----
+
+type prioShare struct {
+	prio  int
+	share float64
+}
+
+// parseMix parses "1=0.7,2=0.3" into cumulative priority shares.
+func parseMix(s string) ([]prioShare, error) {
+	var out []prioShare
+	total := 0.0
+	for _, f := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(strings.TrimSpace(f), "=")
+		if !ok {
+			return nil, fmt.Errorf("bad mix element %q (want PRIO=SHARE)", f)
+		}
+		var prio int
+		var share float64
+		if _, err := fmt.Sscanf(k, "%d", &prio); err != nil {
+			return nil, fmt.Errorf("bad priority %q", k)
+		}
+		if _, err := fmt.Sscanf(v, "%g", &share); err != nil || share < 0 {
+			return nil, fmt.Errorf("bad share %q", v)
+		}
+		total += share
+		out = append(out, prioShare{prio, share})
+	}
+	if len(out) == 0 || total <= 0 {
+		return nil, fmt.Errorf("empty priority mix")
+	}
+	for i := range out {
+		out[i].share /= total
+	}
+	return out, nil
+}
+
+// pickPriority maps a uniform [0,1) draw onto the mix.
+func pickPriority(mix []prioShare, u float64) int {
+	acc := 0.0
+	for _, m := range mix {
+		acc += m.share
+		if u < acc {
+			return m.prio
+		}
+	}
+	return mix[len(mix)-1].prio
+}
+
+// percentile returns the p-th percentile of sorted durations.
+func percentile(sorted []time.Duration, p int) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	idx := (len(sorted)-1)*p + 50 // nearest-rank with rounding
+	return sorted[idx/100]
+}
+
+func discoverBenchmarks(addr string) ([]string, error) {
+	resp, err := http.Get(addr + "/v1/benchmarks")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	var infos []benchInfo
+	if err := json.NewDecoder(resp.Body).Decode(&infos); err != nil {
+		return nil, err
+	}
+	out := make([]string, len(infos))
+	for i, bi := range infos {
+		out[i] = bi.Name
+	}
+	return out, nil
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func rateString(r float64) string {
+	if r <= 0 {
+		return "closed-loop"
+	}
+	return fmt.Sprintf("%.1f/s open-loop", r)
+}
+
+func fatalf(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "flepload: "+format+"\n", args...)
+	os.Exit(1)
+}

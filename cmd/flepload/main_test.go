@@ -1,0 +1,57 @@
+package main
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseMixNormalizes(t *testing.T) {
+	mix, err := parseMix("1=7,2=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mix) != 2 {
+		t.Fatalf("mix: %v", mix)
+	}
+	if mix[0].share != 0.7 || mix[1].share != 0.3 {
+		t.Fatalf("shares not normalized: %v", mix)
+	}
+	if _, err := parseMix(""); err == nil {
+		t.Fatal("accepted empty mix")
+	}
+	if _, err := parseMix("x=1"); err == nil {
+		t.Fatal("accepted malformed mix")
+	}
+}
+
+func TestPickPriorityCoversMix(t *testing.T) {
+	mix, _ := parseMix("1=0.5,2=0.5")
+	if p := pickPriority(mix, 0.0); p != 1 {
+		t.Fatalf("u=0: %d", p)
+	}
+	if p := pickPriority(mix, 0.75); p != 2 {
+		t.Fatalf("u=0.75: %d", p)
+	}
+	if p := pickPriority(mix, 0.999999); p != 2 {
+		t.Fatalf("u→1: %d", p)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	sorted := []time.Duration{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	if p := percentile(sorted, 50); p != 5 && p != 6 {
+		t.Fatalf("p50 = %v", p)
+	}
+	if p := percentile(sorted, 99); p != 10 {
+		t.Fatalf("p99 = %v", p)
+	}
+	if p := percentile(nil, 50); p != 0 {
+		t.Fatalf("empty = %v", p)
+	}
+	one := []time.Duration{42}
+	for _, q := range []int{0, 50, 99, 100} {
+		if p := percentile(one, q); p != 42 {
+			t.Fatalf("p%d of singleton = %v", q, p)
+		}
+	}
+}

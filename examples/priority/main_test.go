@@ -1,0 +1,8 @@
+package main
+
+import "testing"
+
+// TestBuildSmoke makes `go test ./...` compile and link this example, so
+// CI catches bit-rot in example code (the package previously had no test
+// files and was never built by the test pipeline).
+func TestBuildSmoke(t *testing.T) {}

@@ -33,6 +33,7 @@ import (
 	"flep/internal/gpu"
 	"flep/internal/hostexec"
 	"flep/internal/kernels"
+	"flep/internal/server"
 	"flep/internal/transform"
 	"flep/internal/workload"
 )
@@ -182,6 +183,39 @@ func CompileProgram(src string) (*CompiledProgram, error) {
 // buffers hold real results afterwards.
 func RunProgram(p *CompiledProgram, opt RunOptions, procs ...HostProc) (*RunReport, error) {
 	return hostexec.Run(p, opt, procs...)
+}
+
+// ---- serving layer (flepd) ----
+
+// Server is the flepd serving layer: a daemon that owns one System and
+// schedules kernel-launch requests from concurrent clients through the
+// FLEP runtime on an event-loop goroutine (see cmd/flepd).
+type Server = server.Server
+
+// ServerConfig parameterizes a daemon instance (policy, admission queue
+// depth, request timeout, trace retention).
+type ServerConfig = server.Config
+
+// LaunchRequest is the JSON body of POST /v1/launch.
+type LaunchRequest = server.LaunchRequest
+
+// LaunchResult is the structured per-request outcome (turnaround, wait,
+// preemption count, overhead) of a completed invocation.
+type LaunchResult = server.LaunchResult
+
+// SessionSnapshot is the JSON view of one client session.
+type SessionSnapshot = server.SessionSnapshot
+
+// NewServer builds offline artifacts for cfg.Benchmarks and starts a
+// daemon event loop; serve its Handler() over HTTP and stop it with
+// Shutdown.
+func NewServer(cfg ServerConfig) (*Server, error) { return server.New(cfg) }
+
+// NewServerWithSystem starts a daemon over an existing system whose
+// Offline phase already ran; the daemon's event loop takes ownership of
+// the system.
+func NewServerWithSystem(sys *System, cfg ServerConfig) (*Server, error) {
+	return server.NewWithSystem(sys, cfg)
 }
 
 // Scenario constructors (the paper's co-run shapes).

@@ -41,6 +41,9 @@ type KernelResult struct {
 	SubmittedAt time.Duration
 	FinishedAt  time.Duration
 	Waiting     time.Duration
+	// Preemptions counts realized preemptions (FLEP runs only; baselines
+	// never preempt).
+	Preemptions int
 }
 
 // Turnaround returns waiting plus execution time.
@@ -158,7 +161,8 @@ func (s *System) RunFLEP(sc workload.Scenario, opt Options) (*RunResult, error) 
 						Kernel: item.Bench.Name, Class: item.Class,
 						Priority:    item.Priority,
 						SubmittedAt: fv.SubmittedAt(), FinishedAt: fv.FinishedAt(),
-						Waiting: fv.Tw,
+						Waiting:     fv.Tw,
+						Preemptions: fv.Preemptions,
 					})
 					if item.Loop && (sc.Horizon == 0 || eng.Now() < sc.Horizon) {
 						submit()

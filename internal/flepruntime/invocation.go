@@ -65,6 +65,11 @@ type Invocation struct {
 	// OnFinish, if set, fires when the invocation completes.
 	OnFinish func(*Invocation)
 
+	// Preemptions counts realized preemptions of this invocation: drains
+	// that completed with work remaining, whether temporal (back to the
+	// queue) or spatial (shrunk to fewer SMs).
+	Preemptions int
+
 	state        InvState
 	doneTasks    int
 	waitingSince time.Duration

@@ -323,6 +323,7 @@ func (r *Runtime) onDrained(v *Invocation, remaining int) {
 	now := r.dev.Now()
 	v.chargeRun(now)
 	v.doneTasks = v.Tasks - remaining
+	v.Preemptions++
 	if g := r.pendingGuest; g != nil {
 		// Spatial: victim keeps running on its remaining SMs; the guest
 		// takes the freed low SMs.

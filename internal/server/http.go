@@ -1,0 +1,277 @@
+package server
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+
+	"flep/internal/trace"
+)
+
+// formatEntry renders one trace entry like trace.Log.WriteText.
+func formatEntry(e trace.Entry) string {
+	return fmt.Sprintf("%12v %-8s %-8s %-8s [%2d,%2d) %s\n",
+		e.Time, e.Source, e.Kind, e.Kernel, e.SMLo, e.SMHi, e.Detail)
+}
+
+// LaunchRequest is the JSON body of POST /v1/launch: the serving-layer
+// equivalent of the transformed host program's flep_intercept call.
+type LaunchRequest struct {
+	// Client identifies the session; the X-Flep-Client header takes
+	// precedence. Empty means "anonymous".
+	Client string `json:"client,omitempty"`
+	// Benchmark names a loaded kernel (see /v1/benchmarks).
+	Benchmark string `json:"benchmark"`
+	// Class is "large", "small" (default), or "trivial".
+	Class string `json:"class,omitempty"`
+	// Priority is the HPF level / FFS weight key (default 1).
+	Priority int `json:"priority,omitempty"`
+	// Weight, when positive on an FFS daemon, sets this priority level's
+	// share weight.
+	Weight float64 `json:"weight,omitempty"`
+	// TasksOverride replaces the input's task count when positive.
+	TasksOverride int `json:"tasks_override,omitempty"`
+	// TimeoutMS caps this request's wait (bounded by the server default).
+	TimeoutMS int `json:"timeout_ms,omitempty"`
+}
+
+// Status is the JSON body of GET /v1/status.
+type Status struct {
+	Policy        string   `json:"policy"`
+	Spatial       bool     `json:"spatial"`
+	Benchmarks    []string `json:"benchmarks"`
+	UptimeMS      int64    `json:"uptime_ms"`
+	VirtualNowUS  float64  `json:"virtual_now_us"`
+	QueueLen      int      `json:"queue_len"`
+	QueueCap      int      `json:"queue_cap"`
+	Paused        bool     `json:"paused"`
+	Draining      bool     `json:"draining"`
+	Sessions      int      `json:"sessions"`
+	Counters      counters `json:"counters"`
+	TraceEntries  int      `json:"trace_entries,omitempty"`
+	TraceDropped  int      `json:"trace_dropped,omitempty"`
+	ExactlyOnceOK bool     `json:"exactly_once_ok"`
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the daemon's HTTP API.
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/launch", s.handleLaunch)
+	mux.HandleFunc("GET /v1/status", s.handleStatus)
+	mux.HandleFunc("GET /v1/sessions", s.handleSessions)
+	mux.HandleFunc("GET /v1/benchmarks", s.handleBenchmarks)
+	mux.HandleFunc("GET /v1/trace", s.handleTrace)
+	mux.HandleFunc("POST /v1/pause", s.handlePause)
+	mux.HandleFunc("POST /v1/resume", s.handleResume)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	return mux
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	var req LaunchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err := dec.Decode(&req); err != nil {
+		s.countInvalid("")
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	client := r.Header.Get("X-Flep-Client")
+	if client == "" {
+		client = req.Client
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+	bench, ok := s.benches[req.Benchmark]
+	if !ok {
+		s.countInvalid(client)
+		writeJSON(w, http.StatusBadRequest, apiError{"unknown or unloaded benchmark " + strconv.Quote(req.Benchmark)})
+		return
+	}
+	class, err := parseClass(req.Class)
+	if err != nil {
+		s.countInvalid(client)
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
+	prio := req.Priority
+	if prio == 0 {
+		prio = 1
+	}
+	if prio < 0 || req.TasksOverride < 0 || req.Weight < 0 {
+		s.countInvalid(client)
+		writeJSON(w, http.StatusBadRequest, apiError{"priority, weight and tasks_override must be non-negative"})
+		return
+	}
+
+	q := &launchReq{
+		client: client, bench: bench, class: class,
+		priority: prio, weight: req.Weight, tasksOverride: req.TasksOverride,
+		enqueuedReal: time.Now(),
+		done:         make(chan LaunchResult, 1),
+	}
+	if err := s.tryEnqueue(q); err != nil {
+		s.mu.Lock()
+		sess := s.session(client)
+		switch {
+		case errors.Is(err, ErrQueueFull):
+			s.c.RejectedFull++
+			sess.RejectedFull++
+		default:
+			s.c.RejectedDraining++
+		}
+		s.mu.Unlock()
+		if errors.Is(err, ErrQueueFull) {
+			w.Header().Set("Retry-After", "1")
+			writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+		} else {
+			writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		}
+		return
+	}
+	s.mu.Lock()
+	s.c.Enqueued++
+	s.session(client).Launches++
+	s.mu.Unlock()
+
+	timeout := s.cfg.RequestTimeout
+	if req.TimeoutMS > 0 {
+		if d := time.Duration(req.TimeoutMS) * time.Millisecond; d < timeout {
+			timeout = d
+		}
+	}
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case res := <-q.done:
+		if res.Err != "" {
+			writeJSON(w, http.StatusUnprocessableEntity, res)
+			return
+		}
+		writeJSON(w, http.StatusOK, res)
+	case <-timer.C:
+		// The invocation is NOT lost: the loop finishes and accounts it;
+		// only this handler stops waiting.
+		s.mu.Lock()
+		s.c.TimedOut++
+		s.session(client).TimedOut++
+		s.mu.Unlock()
+		writeJSON(w, http.StatusGatewayTimeout,
+			apiError{"timed out waiting for completion; the invocation still runs to completion"})
+	case <-r.Context().Done():
+		s.mu.Lock()
+		s.c.Canceled++
+		s.mu.Unlock()
+	}
+}
+
+func (s *Server) countInvalid(client string) {
+	s.mu.Lock()
+	s.c.RejectedInvalid++
+	if client != "" {
+		s.session(client)
+	}
+	s.mu.Unlock()
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	names := make([]string, 0, len(s.info))
+	for _, bi := range s.info {
+		names = append(names, bi.Name)
+	}
+	s.mu.Lock()
+	st := Status{
+		Policy:       s.cfg.Policy,
+		Spatial:      s.cfg.Spatial,
+		Benchmarks:   names,
+		UptimeMS:     time.Since(s.startReal).Milliseconds(),
+		VirtualNowUS: float64(s.vnow.Load()) / 1e3,
+		QueueLen:     len(s.submitCh),
+		QueueCap:     cap(s.submitCh),
+		Paused:       s.paused.Load(),
+		Sessions:     len(s.sessions),
+		Counters:     s.c,
+		// In-flight work keeps the invariant an inequality; at rest
+		// (drained or idle) it must hold with equality.
+		ExactlyOnceOK: s.c.Completed+s.c.SubmitErrors <= s.c.Enqueued,
+	}
+	s.mu.Unlock()
+	st.Draining = s.Draining()
+	if s.tlog != nil {
+		st.TraceEntries = s.tlog.Len()
+		st.TraceDropped = s.tlog.Dropped()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.SessionSnapshots())
+}
+
+func (s *Server) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.info)
+}
+
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if s.tlog == nil {
+		writeJSON(w, http.StatusNotFound, apiError{"trace disabled; start flepd with -trace"})
+		return
+	}
+	entries := s.tlog.Filter(r.URL.Query().Get("kind"))
+	if n, err := strconv.Atoi(r.URL.Query().Get("limit")); err == nil && n > 0 && n < len(entries) {
+		entries = entries[len(entries)-n:]
+	}
+	switch r.URL.Query().Get("format") {
+	case "", "json":
+		writeJSON(w, http.StatusOK, entries)
+	case "text":
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		for _, e := range entries {
+			if _, err := w.Write([]byte(formatEntry(e))); err != nil {
+				return
+			}
+		}
+	default:
+		writeJSON(w, http.StatusBadRequest, apiError{"unknown format (want json or text)"})
+	}
+}
+
+func (s *Server) handlePause(w http.ResponseWriter, r *http.Request) {
+	if err := s.Pause(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": true})
+}
+
+func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
+	if err := s.Resume(); err != nil {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]bool{"paused": false})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.Draining() {
+		http.Error(w, "draining", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}

@@ -1,0 +1,286 @@
+package server
+
+import (
+	"time"
+
+	"flep/internal/flepruntime"
+	"flep/internal/kernels"
+)
+
+// launchReq is one admitted (or to-be-admitted) kernel-launch request on
+// its way through the daemon. The HTTP handler owns it until the enqueue
+// succeeds; the event loop owns it afterwards. done is buffered so the
+// loop's terminal send never blocks, even if the handler timed out and
+// went away — the invocation is accounted for regardless.
+type launchReq struct {
+	client        string
+	bench         *kernels.Benchmark
+	class         kernels.InputClass
+	priority      int
+	weight        float64
+	tasksOverride int
+
+	enqueuedReal time.Time // handler enqueue time
+	admitReal    time.Time // loop admission time (queue-wait metric)
+
+	done chan LaunchResult
+}
+
+// LaunchResult is the structured per-request outcome (§5.1's execution
+// log, serialized). Exactly one is delivered per accepted launch.
+type LaunchResult struct {
+	ID       int    `json:"id"`
+	Client   string `json:"client"`
+	Kernel   string `json:"kernel"`
+	Class    string `json:"class"`
+	Priority int    `json:"priority"`
+	// Virtual-clock timings (the simulation's currency).
+	SubmittedVirtualNS int64 `json:"submitted_virtual_ns"`
+	FinishedVirtualNS  int64 `json:"finished_virtual_ns"`
+	TurnaroundNS       int64 `json:"turnaround_ns"`
+	WaitingNS          int64 `json:"waiting_ns"`
+	ExecutionNS        int64 `json:"execution_ns"`
+	// NTT is turnaround normalized by the solo baseline (ANTT's per-run
+	// term); zero when no baseline applies (tasks_override).
+	NTT float64 `json:"ntt,omitempty"`
+	// Preemptions counts realized preemptions of this invocation;
+	// OverheadNS estimates their total cost (count × profiled mean).
+	Preemptions       int   `json:"preemptions"`
+	PreemptEstimateNS int64 `json:"preempt_overhead_estimate_ns"`
+	OverheadNS        int64 `json:"overhead_ns"`
+	// QueueWaitRealNS is the real time spent in the admission queue.
+	QueueWaitRealNS int64 `json:"queue_wait_real_ns"`
+	// Err is set when the runtime rejected the invocation (HTTP 422).
+	Err string `json:"error,omitempty"`
+}
+
+type ctrlKind int
+
+const (
+	ctrlPause ctrlKind = iota
+	ctrlResume
+)
+
+type ctrlMsg struct {
+	kind ctrlKind
+	ack  chan struct{}
+}
+
+// ctrl sends a control message to the loop and waits for acknowledgement.
+func (s *Server) ctrl(kind ctrlKind) error {
+	m := ctrlMsg{kind: kind, ack: make(chan struct{})}
+	select {
+	case s.ctrlCh <- m:
+	case <-s.loopDone:
+		return ErrStopped
+	}
+	select {
+	case <-m.ack:
+		return nil
+	case <-s.loopDone:
+		return ErrStopped
+	}
+}
+
+// tryEnqueue admits a launch into the bounded queue without blocking.
+// The RLock pairs with Shutdown's Lock: once draining is set, no new
+// send can be in flight, so the loop's final queue length is stable.
+func (s *Server) tryEnqueue(q *launchReq) error {
+	s.acceptMu.RLock()
+	defer s.acceptMu.RUnlock()
+	if s.draining {
+		return ErrDraining
+	}
+	select {
+	case s.submitCh <- q:
+		return nil
+	default:
+		return ErrQueueFull
+	}
+}
+
+// loop is the daemon's scheduling thread. It is the only goroutine that
+// touches the engine, device, runtime, policy, and core.System after
+// startup; everything reaches it through submitCh/ctrlCh. Each iteration
+// first absorbs every pending arrival (stamping them onto the virtual
+// clock in arrival order), then advances the simulation by one event.
+func (s *Server) loop() {
+	defer close(s.loopDone)
+	stop := (<-chan struct{})(s.stopCh)
+	draining := false
+	paused := false
+
+	beginDrain := func() {
+		draining = true
+		stop = nil
+		paused = false
+		s.paused.Store(false)
+	}
+
+	for {
+		// Absorb everything already pending, without blocking.
+	absorb:
+		for {
+			select {
+			case q := <-s.submitCh:
+				s.admit(q)
+			case m := <-s.ctrlCh:
+				paused = s.handleCtrl(m, paused, draining)
+			case <-stop:
+				beginDrain()
+			default:
+				break absorb
+			}
+		}
+
+		if paused {
+			// Parked: arrivals pile up in submitCh (backpressure) until
+			// Resume or Shutdown.
+			select {
+			case m := <-s.ctrlCh:
+				paused = s.handleCtrl(m, paused, draining)
+			case <-stop:
+				beginDrain()
+			}
+			continue
+		}
+
+		if s.eng.Step() {
+			s.vnow.Store(int64(s.eng.Now()))
+			if s.cfg.Pace > 0 {
+				s.sleepAbsorb(s.cfg.Pace, &paused, &draining, &stop)
+			}
+			continue
+		}
+
+		// Simulator idle: nothing left to run.
+		if draining && len(s.submitCh) == 0 {
+			return
+		}
+		select {
+		case q := <-s.submitCh:
+			s.admit(q)
+		case m := <-s.ctrlCh:
+			paused = s.handleCtrl(m, paused, draining)
+		case <-stop:
+			beginDrain()
+		}
+	}
+}
+
+// sleepAbsorb waits out one pace interval while still admitting arrivals
+// and control messages, so paced operation keeps the admission latency
+// low.
+func (s *Server) sleepAbsorb(d time.Duration, paused, draining *bool, stop *<-chan struct{}) {
+	timer := time.NewTimer(d)
+	defer timer.Stop()
+	for {
+		select {
+		case <-timer.C:
+			return
+		case q := <-s.submitCh:
+			s.admit(q)
+		case m := <-s.ctrlCh:
+			*paused = s.handleCtrl(m, *paused, *draining)
+			if *paused {
+				return // park promptly; the loop handles the rest
+			}
+		case <-*stop:
+			*draining = true
+			*stop = nil
+			*paused = false
+			s.paused.Store(false)
+			return
+		}
+	}
+}
+
+func (s *Server) handleCtrl(m ctrlMsg, paused, draining bool) bool {
+	switch m.kind {
+	case ctrlPause:
+		if !draining { // a draining daemon must keep making progress
+			paused = true
+		}
+	case ctrlResume:
+		paused = false
+	}
+	s.paused.Store(paused)
+	close(m.ack)
+	return paused
+}
+
+// admit stamps the request onto the virtual clock and submits it to the
+// runtime. Runs on the loop goroutine.
+func (s *Server) admit(q *launchReq) {
+	q.admitReal = time.Now()
+	a := s.sys.Artifacts(q.bench.Name)
+	in := q.bench.Input(q.class)
+	if q.tasksOverride > 0 {
+		in.Tasks = q.tasksOverride
+		in.Bytes = int64(in.Tasks) * q.bench.BytesPerTask
+	}
+	te, _ := s.sys.Predict(q.bench, in)
+	if s.ffs != nil && q.weight > 0 {
+		s.ffs.Weights[q.priority] = q.weight
+	}
+	v := &flepruntime.Invocation{
+		Kernel:   q.bench.Name,
+		Priority: q.priority,
+		Profile:  a.Profile,
+		Tasks:    in.Tasks,
+		TaskCost: in.TaskCost,
+		L:        a.L,
+		// Same resident-footprint model as core.RunFLEP: /8 keeps the
+		// largest benchmark within the K40's 12 GB (§8).
+		WorkingSet: in.Bytes / 8,
+		Te:         te,
+		OnFinish:   func(fv *flepruntime.Invocation) { s.complete(q, fv) },
+	}
+	if err := s.rt.Submit(v); err != nil {
+		s.mu.Lock()
+		s.c.SubmitErrors++
+		if sess := s.sessions[q.client]; sess != nil {
+			sess.SubmitErrors++
+		}
+		s.mu.Unlock()
+		q.done <- LaunchResult{
+			Client: q.client, Kernel: q.bench.Name, Class: q.class.String(),
+			Priority: q.priority, Err: err.Error(),
+		}
+		return
+	}
+	s.vnow.Store(int64(s.eng.Now()))
+}
+
+// complete delivers the terminal result for a finished invocation. Runs
+// on the loop goroutine (from the runtime's OnFinish hook).
+func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
+	s.vnow.Store(int64(s.dev.Now()))
+	a := s.sys.Artifacts(q.bench.Name)
+	res := LaunchResult{
+		ID:     fv.ID,
+		Client: q.client, Kernel: fv.Kernel, Class: q.class.String(),
+		Priority:           fv.Priority,
+		SubmittedVirtualNS: int64(fv.SubmittedAt()),
+		FinishedVirtualNS:  int64(fv.FinishedAt()),
+		TurnaroundNS:       int64(fv.Turnaround()),
+		WaitingNS:          int64(fv.Tw),
+		ExecutionNS:        int64(fv.Turnaround() - fv.Tw),
+		Preemptions:        fv.Preemptions,
+		PreemptEstimateNS:  int64(a.PreemptOverhead),
+		OverheadNS:         int64(a.PreemptOverhead) * int64(fv.Preemptions),
+		QueueWaitRealNS:    q.admitReal.Sub(q.enqueuedReal).Nanoseconds(),
+	}
+	if q.tasksOverride == 0 {
+		if solo := s.solo[soloKey{q.bench.Name, q.class}]; solo > 0 {
+			res.NTT = fv.Turnaround().Seconds() / solo.Seconds()
+		}
+	}
+	s.mu.Lock()
+	s.c.Completed++
+	if sess := s.sessions[q.client]; sess != nil {
+		sess.noteCompletion(res)
+	}
+	s.mu.Unlock()
+	q.done <- res
+}

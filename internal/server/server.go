@@ -1,0 +1,393 @@
+// Package server implements flepd's serving layer: a long-running daemon
+// that owns one core.System (offline artifacts built at startup) and
+// schedules kernel-launch requests from many concurrent clients through
+// the FLEP runtime engine on the simulated device.
+//
+// The paper's runtime engine (§5) is an always-on interceptor: host
+// programs hand it kernel invocations and block until the scheduler
+// dispatches them (Figure 5's S2→S3 transition). The daemon realizes that
+// shape over HTTP: POST /v1/launch is the interception point, the
+// response is the S3→S1 return, and a single event-loop goroutine plays
+// the role of the scheduling thread — it owns the discrete-event engine,
+// the device model, and the policy, so no lock ever guards simulator
+// state. Arrivals are stamped onto the virtual clock in arrival order,
+// which makes concurrent clients reproduce exactly the preemption
+// behaviour of the paper's co-run scenarios.
+package server
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"flep/internal/core"
+	"flep/internal/flepruntime"
+	"flep/internal/gpu"
+	"flep/internal/kernels"
+	"flep/internal/sim"
+	"flep/internal/trace"
+)
+
+// Config parameterizes a daemon instance.
+type Config struct {
+	// Policy selects the scheduling policy: "hpf" (default), "hpf-naive",
+	// or "ffs".
+	Policy string
+	// Spatial enables spatial preemption (HPF only).
+	Spatial bool
+	// SpatialSMs overrides how many SMs a spatial preemption yields.
+	SpatialSMs int
+	// MaxOverhead is FFS's overhead budget (default 0.10).
+	MaxOverhead float64
+	// Weights seeds the FFS priority-level → share-weight map; launch
+	// requests may extend it.
+	Weights map[int]float64
+	// Benchmarks names the kernels to build offline artifacts for
+	// (nil/empty = the full Table 1 suite).
+	Benchmarks []string
+	// QueueDepth bounds the admission queue; a full queue rejects
+	// launches with 429 + Retry-After (default 256).
+	QueueDepth int
+	// RequestTimeout caps how long a launch handler waits for its result
+	// before answering 504; the invocation itself is never abandoned
+	// (default 30s).
+	RequestTimeout time.Duration
+	// Trace keeps a bounded runtime+device event log served at /v1/trace.
+	Trace bool
+	// TraceLimit bounds the retained trace entries (default 65536).
+	TraceLimit int
+	// Pace, when positive, sleeps this long of real time per simulated
+	// event, so virtual time advances at a human-observable rate and
+	// clients can genuinely race the simulation (default 0: run the
+	// simulator as fast as the host allows).
+	Pace time.Duration
+	// Logf, when set, receives startup progress lines.
+	Logf func(format string, args ...any)
+	// Params overrides the device model (zero value = the paper's K40).
+	Params gpu.Params
+}
+
+func (c *Config) applyDefaults() {
+	if c.Policy == "" {
+		c.Policy = "hpf"
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 256
+	}
+	if c.RequestTimeout <= 0 {
+		c.RequestTimeout = 30 * time.Second
+	}
+	if c.TraceLimit <= 0 {
+		c.TraceLimit = 65536
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	if c.Params.Limits.NumSMs == 0 {
+		c.Params = gpu.DefaultParams()
+	}
+}
+
+// Sentinel errors surfaced by admission.
+var (
+	// ErrQueueFull reports a full admission queue (HTTP 429).
+	ErrQueueFull = errors.New("server: admission queue full")
+	// ErrDraining reports a shutting-down daemon (HTTP 503).
+	ErrDraining = errors.New("server: draining, not accepting launches")
+	// ErrStopped reports a daemon whose event loop has exited.
+	ErrStopped = errors.New("server: stopped")
+)
+
+// counters aggregates the daemon's request accounting. The exactly-once
+// invariant is Enqueued == Completed + SubmitErrors once drained: every
+// accepted launch reaches the runtime exactly once and produces exactly
+// one terminal event.
+type counters struct {
+	Enqueued         int64 `json:"enqueued"`
+	Completed        int64 `json:"completed"`
+	SubmitErrors     int64 `json:"submit_errors"`
+	RejectedFull     int64 `json:"rejected_queue_full"`
+	RejectedDraining int64 `json:"rejected_draining"`
+	RejectedInvalid  int64 `json:"rejected_invalid"`
+	TimedOut         int64 `json:"timed_out"`
+	Canceled         int64 `json:"canceled"`
+}
+
+type soloKey struct {
+	bench string
+	class kernels.InputClass
+}
+
+// Server is one flepd instance. Create it with New or NewWithSystem; it
+// serves HTTP through Handler and stops through Shutdown.
+type Server struct {
+	cfg     Config
+	sys     *core.System
+	eng     *sim.Engine
+	dev     *gpu.Device
+	rt      *flepruntime.Runtime
+	ffs     *flepruntime.FFS // non-nil iff cfg.Policy == "ffs"
+	tlog    *trace.Log       // nil unless cfg.Trace
+	benches map[string]*kernels.Benchmark
+	solo    map[soloKey]time.Duration // immutable after New
+	info    []BenchmarkInfo           // immutable after New
+
+	submitCh chan *launchReq
+	ctrlCh   chan ctrlMsg
+	stopCh   chan struct{}
+	loopDone chan struct{}
+
+	// acceptMu serializes admission against the start of draining so no
+	// enqueue can slip in after the loop decided the queue is final.
+	acceptMu sync.RWMutex
+	draining bool
+
+	vnow   atomic.Int64 // last observed virtual clock (ns)
+	paused atomic.Bool
+
+	mu        sync.Mutex
+	startReal time.Time
+	c         counters
+	sessions  map[string]*Session
+}
+
+// New builds the offline artifacts for cfg.Benchmarks on a fresh system
+// and starts the daemon's event loop.
+func New(cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	benchs, err := resolveBenchmarks(cfg.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	sys := core.NewSystem(cfg.Params)
+	for _, b := range benchs {
+		start := time.Now()
+		if err := sys.Offline([]*kernels.Benchmark{b}); err != nil {
+			return nil, fmt.Errorf("server: offline %s: %w", b.Name, err)
+		}
+		a := sys.Artifacts(b.Name)
+		cfg.Logf("offline %-5s L=%-4d overhead=%.2f%% preempt=%v (%v)",
+			b.Name, a.L, a.TunedOverhead*100, a.PreemptOverhead.Round(time.Microsecond),
+			time.Since(start).Round(time.Millisecond))
+	}
+	return NewWithSystem(sys, cfg)
+}
+
+// NewWithSystem starts a daemon over an existing system (whose Offline
+// phase must already cover cfg.Benchmarks). The system must not be used
+// concurrently by anyone else afterwards: the event loop owns it.
+func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
+	cfg.applyDefaults()
+	benchs, err := resolveBenchmarks(cfg.Benchmarks)
+	if err != nil {
+		return nil, err
+	}
+	s := &Server{
+		cfg:      cfg,
+		sys:      sys,
+		benches:  map[string]*kernels.Benchmark{},
+		solo:     map[soloKey]time.Duration{},
+		submitCh: make(chan *launchReq, cfg.QueueDepth),
+		ctrlCh:   make(chan ctrlMsg),
+		stopCh:   make(chan struct{}),
+		loopDone: make(chan struct{}),
+		sessions: map[string]*Session{},
+	}
+	for _, b := range benchs {
+		if sys.Artifacts(b.Name) == nil {
+			return nil, fmt.Errorf("server: system lacks offline artifacts for %s", b.Name)
+		}
+		s.benches[b.Name] = b
+	}
+
+	// Precompute solo baselines (the ANTT denominators) while we are
+	// still single-threaded: core.System caches them in a plain map, so
+	// they must never be computed lazily once the loop is running.
+	for _, b := range benchs {
+		for _, c := range kernels.Classes() {
+			d, err := sys.SoloTime(b, c)
+			if err != nil {
+				return nil, fmt.Errorf("server: solo %s/%s: %w", b.Name, c, err)
+			}
+			s.solo[soloKey{b.Name, c}] = d
+		}
+	}
+	s.info = buildBenchmarkInfo(sys, benchs, s.solo)
+
+	var policy flepruntime.Policy
+	switch cfg.Policy {
+	case "hpf":
+		policy = flepruntime.NewHPF()
+	case "hpf-naive":
+		h := flepruntime.NewHPF()
+		h.OverheadAware = false
+		policy = h
+	case "ffs":
+		f := flepruntime.NewFFS(cfg.MaxOverhead)
+		f.Weights = map[int]float64{}
+		for p, w := range cfg.Weights {
+			f.Weights[p] = w
+		}
+		s.ffs = f
+		policy = f
+	default:
+		return nil, fmt.Errorf("server: unknown policy %q", cfg.Policy)
+	}
+
+	s.eng = sim.New()
+	s.dev = gpu.New(s.eng, cfg.Params)
+	if cfg.Trace {
+		s.tlog = &trace.Log{Limit: cfg.TraceLimit}
+		s.dev.Observer = s.tlog.DeviceObserver()
+	}
+	s.rt = flepruntime.New(s.dev, flepruntime.Config{
+		Policy:        policy,
+		EnableSpatial: cfg.Spatial,
+		SpatialSMs:    cfg.SpatialSMs,
+		OverheadEstimate: func(kernel string) time.Duration {
+			if a := sys.Artifacts(kernel); a != nil {
+				return a.PreemptOverhead
+			}
+			return 0
+		},
+		Log: s.tlog,
+	})
+	s.startReal = time.Now()
+	go s.loop()
+	return s, nil
+}
+
+func resolveBenchmarks(names []string) ([]*kernels.Benchmark, error) {
+	if len(names) == 0 {
+		return kernels.All(), nil
+	}
+	out := make([]*kernels.Benchmark, 0, len(names))
+	for _, n := range names {
+		b, err := kernels.ByName(n)
+		if err != nil {
+			return nil, fmt.Errorf("server: %w", err)
+		}
+		out = append(out, b)
+	}
+	return out, nil
+}
+
+// Shutdown drains the daemon: new launches are rejected with 503, queued
+// and in-flight invocations run to completion, then the event loop exits.
+// It returns early with ctx's error if the drain outlives the context
+// (the loop keeps draining in the background).
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.acceptMu.Lock()
+	already := s.draining
+	s.draining = true
+	s.acceptMu.Unlock()
+	if !already {
+		close(s.stopCh)
+	}
+	select {
+	case <-s.loopDone:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// Draining reports whether Shutdown has begun.
+func (s *Server) Draining() bool {
+	s.acceptMu.RLock()
+	defer s.acceptMu.RUnlock()
+	return s.draining
+}
+
+// VirtualNow returns the last observed virtual-clock reading.
+func (s *Server) VirtualNow() time.Duration { return time.Duration(s.vnow.Load()) }
+
+// TraceLog returns the daemon's event log (nil unless Config.Trace).
+func (s *Server) TraceLog() *trace.Log { return s.tlog }
+
+// Paused reports whether the scheduler is paused.
+func (s *Server) Paused() bool { return s.paused.Load() }
+
+// Pause parks the event loop: arrivals accumulate in the admission queue
+// (exercising backpressure) and virtual time stands still. It returns
+// once the loop has acknowledged, so the pause is fully in effect.
+func (s *Server) Pause() error { return s.ctrl(ctrlPause) }
+
+// Resume unparks a paused event loop.
+func (s *Server) Resume() error { return s.ctrl(ctrlResume) }
+
+// Counters returns a snapshot of the request accounting.
+func (s *Server) Counters() map[string]int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return map[string]int64{
+		"enqueued":            s.c.Enqueued,
+		"completed":           s.c.Completed,
+		"submit_errors":       s.c.SubmitErrors,
+		"rejected_queue_full": s.c.RejectedFull,
+		"rejected_draining":   s.c.RejectedDraining,
+		"rejected_invalid":    s.c.RejectedInvalid,
+		"timed_out":           s.c.TimedOut,
+		"canceled":            s.c.Canceled,
+	}
+}
+
+// BenchmarkInfo describes one loaded benchmark for /v1/benchmarks.
+type BenchmarkInfo struct {
+	Name              string               `json:"name"`
+	Kernel            string               `json:"kernel"`
+	L                 int                  `json:"amortizing_factor"`
+	TuneOK            bool                 `json:"tune_ok"`
+	PreemptOverheadNS int64                `json:"preempt_overhead_ns"`
+	Classes           map[string]ClassInfo `json:"classes"`
+}
+
+// ClassInfo describes one input class of a benchmark.
+type ClassInfo struct {
+	Tasks       int   `json:"tasks"`
+	Bytes       int64 `json:"bytes"`
+	SoloNS      int64 `json:"solo_ns"`
+	PredictedNS int64 `json:"predicted_ns"`
+}
+
+func buildBenchmarkInfo(sys *core.System, benchs []*kernels.Benchmark, solo map[soloKey]time.Duration) []BenchmarkInfo {
+	out := make([]BenchmarkInfo, 0, len(benchs))
+	for _, b := range benchs {
+		a := sys.Artifacts(b.Name)
+		bi := BenchmarkInfo{
+			Name: b.Name, Kernel: b.KernelName,
+			L: a.L, TuneOK: a.TuneOK,
+			PreemptOverheadNS: int64(a.PreemptOverhead),
+			Classes:           map[string]ClassInfo{},
+		}
+		for _, c := range kernels.Classes() {
+			in := b.Input(c)
+			pred, _ := sys.Predict(b, in)
+			bi.Classes[c.String()] = ClassInfo{
+				Tasks: in.Tasks, Bytes: in.Bytes,
+				SoloNS:      int64(solo[soloKey{b.Name, c}]),
+				PredictedNS: int64(pred),
+			}
+		}
+		out = append(out, bi)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// parseClass maps an input-class name to its kernels.InputClass.
+func parseClass(name string) (kernels.InputClass, error) {
+	switch name {
+	case "", "small":
+		return kernels.Small, nil
+	case "large":
+		return kernels.Large, nil
+	case "trivial":
+		return kernels.Trivial, nil
+	}
+	return 0, fmt.Errorf("unknown input class %q (want large, small, or trivial)", name)
+}

@@ -1,0 +1,106 @@
+package server
+
+import (
+	"sort"
+	"time"
+)
+
+// Session is one client's standing with the daemon. The paper's runtime
+// engine serves "kernels from different processes" (§5); a session is the
+// daemon's per-process bookkeeping: identification, accounting, and the
+// derived state of the client's host program in Figure 5's machine. A
+// session is created on the client's first launch and lives for the
+// daemon's lifetime. All fields are guarded by Server.mu.
+type Session struct {
+	ID        string
+	FirstSeen time.Time
+
+	Launches     int64 // launches accepted into the queue
+	Completed    int64 // invocations finished
+	SubmitErrors int64 // runtime rejections (oversized working set)
+	RejectedFull int64 // 429s
+	TimedOut     int64 // handlers that gave up waiting (invocation ran on)
+
+	Preemptions       int64 // realized preemptions across invocations
+	TotalTurnaroundNS int64
+	TotalWaitingNS    int64
+	LastFinishVirtual time.Duration
+}
+
+// noteCompletion folds a finished invocation into the session.
+func (sess *Session) noteCompletion(res LaunchResult) {
+	sess.Completed++
+	sess.Preemptions += int64(res.Preemptions)
+	sess.TotalTurnaroundNS += res.TurnaroundNS
+	sess.TotalWaitingNS += res.WaitingNS
+	sess.LastFinishVirtual = time.Duration(res.FinishedVirtualNS)
+}
+
+// hostState maps the session onto Figure 5's host-program states: a
+// client with invocations still in flight is blocked awaiting the GPU
+// (S2/S3 — the daemon cannot distinguish queued from resident without
+// asking the loop, so it reports the conservative S2); an idle client is
+// executing CPU code (S1).
+func (sess *Session) hostState() string {
+	if sess.Launches > sess.Completed+sess.SubmitErrors {
+		return "S2/S3 (awaiting schedule or GPU)"
+	}
+	return "S1 (cpu)"
+}
+
+// SessionSnapshot is the JSON view of a session for /v1/sessions.
+type SessionSnapshot struct {
+	ID            string  `json:"id"`
+	FirstSeenUnix int64   `json:"first_seen_unix_ms"`
+	HostState     string  `json:"host_state"`
+	Launches      int64   `json:"launches"`
+	InFlight      int64   `json:"in_flight"`
+	Completed     int64   `json:"completed"`
+	SubmitErrors  int64   `json:"submit_errors"`
+	RejectedFull  int64   `json:"rejected_queue_full"`
+	TimedOut      int64   `json:"timed_out"`
+	Preemptions   int64   `json:"preemptions"`
+	MeanTurnUS    float64 `json:"mean_turnaround_us"`
+	MeanWaitUS    float64 `json:"mean_waiting_us"`
+	LastFinishUS  float64 `json:"last_finish_virtual_us"`
+}
+
+// session returns the client's session, creating it on first use.
+// Callers must hold s.mu.
+func (s *Server) session(client string) *Session {
+	sess := s.sessions[client]
+	if sess == nil {
+		sess = &Session{ID: client, FirstSeen: time.Now()}
+		s.sessions[client] = sess
+	}
+	return sess
+}
+
+// SessionSnapshots returns all sessions sorted by ID.
+func (s *Server) SessionSnapshots() []SessionSnapshot {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]SessionSnapshot, 0, len(s.sessions))
+	for _, sess := range s.sessions {
+		snap := SessionSnapshot{
+			ID:            sess.ID,
+			FirstSeenUnix: sess.FirstSeen.UnixMilli(),
+			HostState:     sess.hostState(),
+			Launches:      sess.Launches,
+			InFlight:      sess.Launches - sess.Completed - sess.SubmitErrors,
+			Completed:     sess.Completed,
+			SubmitErrors:  sess.SubmitErrors,
+			RejectedFull:  sess.RejectedFull,
+			TimedOut:      sess.TimedOut,
+			Preemptions:   sess.Preemptions,
+			LastFinishUS:  float64(sess.LastFinishVirtual) / 1e3,
+		}
+		if sess.Completed > 0 {
+			snap.MeanTurnUS = float64(sess.TotalTurnaroundNS) / float64(sess.Completed) / 1e3
+			snap.MeanWaitUS = float64(sess.TotalWaitingNS) / float64(sess.Completed) / 1e3
+		}
+		out = append(out, snap)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}

@@ -10,6 +10,7 @@ import (
 	"io"
 	"sort"
 	"strconv"
+	"sync"
 	"time"
 
 	"flep/internal/gpu"
@@ -27,13 +28,38 @@ type Entry struct {
 }
 
 // Log collects entries in time order (the simulator is single-threaded, so
-// appends arrive ordered).
+// appends arrive ordered). Log is safe for concurrent use: a long-running
+// daemon appends from its event loop while HTTP handlers snapshot or export
+// the log.
 type Log struct {
+	// Limit, when positive, bounds the retained entries: Add drops the
+	// oldest entry once the log is full (a daemon would otherwise grow
+	// without bound). Set it before the first Add.
+	Limit int
+
+	mu      sync.Mutex
 	entries []Entry
+	dropped int
 }
 
-// Add appends an entry.
-func (l *Log) Add(e Entry) { l.entries = append(l.entries, e) }
+// Add appends an entry, evicting the oldest if Limit is exceeded.
+func (l *Log) Add(e Entry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.entries = append(l.entries, e)
+	if l.Limit > 0 && len(l.entries) > l.Limit {
+		over := len(l.entries) - l.Limit
+		l.entries = append(l.entries[:0], l.entries[over:]...)
+		l.dropped += over
+	}
+}
+
+// Dropped returns how many entries eviction has discarded.
+func (l *Log) Dropped() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.dropped
+}
 
 // Runtime records a runtime-engine event.
 func (l *Log) Runtime(at time.Duration, kind, kernel, detail string) {
@@ -51,16 +77,30 @@ func (l *Log) DeviceObserver() func(gpu.Event) {
 	}
 }
 
-// Entries returns the recorded entries.
-func (l *Log) Entries() []Entry { return l.entries }
+// snapshot returns a copy of the entries taken under the lock, so callers
+// can iterate without holding it.
+func (l *Log) snapshot() []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Entry, len(l.entries))
+	copy(out, l.entries)
+	return out
+}
+
+// Entries returns a copy of the recorded entries.
+func (l *Log) Entries() []Entry { return l.snapshot() }
 
 // Len returns the entry count.
-func (l *Log) Len() int { return len(l.entries) }
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.entries)
+}
 
 // Filter returns the entries matching kind ("" matches all).
 func (l *Log) Filter(kind string) []Entry {
 	var out []Entry
-	for _, e := range l.entries {
+	for _, e := range l.snapshot() {
 		if kind == "" || e.Kind == kind {
 			out = append(out, e)
 		}
@@ -70,7 +110,7 @@ func (l *Log) Filter(kind string) []Entry {
 
 // WriteText writes a human-readable log.
 func (l *Log) WriteText(w io.Writer) error {
-	for _, e := range l.entries {
+	for _, e := range l.snapshot() {
 		_, err := fmt.Fprintf(w, "%12v %-8s %-8s %-8s [%2d,%2d) %s\n",
 			e.Time, e.Source, e.Kind, e.Kernel, e.SMLo, e.SMHi, e.Detail)
 		if err != nil {
@@ -86,7 +126,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 	if err := cw.Write([]string{"time_us", "source", "kind", "kernel", "sm_lo", "sm_hi", "detail"}); err != nil {
 		return err
 	}
-	for _, e := range l.entries {
+	for _, e := range l.snapshot() {
 		rec := []string{
 			strconv.FormatFloat(float64(e.Time)/float64(time.Microsecond), 'f', 3, 64),
 			e.Source, e.Kind, e.Kernel,
@@ -104,7 +144,7 @@ func (l *Log) WriteCSV(w io.Writer) error {
 func (l *Log) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
-	return enc.Encode(l.entries)
+	return enc.Encode(l.snapshot())
 }
 
 // GanttRow is one kernel's residency span on a set of SMs.
@@ -129,7 +169,7 @@ func (l *Log) Gantt() []GanttRow {
 			delete(active, k)
 		}
 	}
-	for _, e := range l.entries {
+	for _, e := range l.snapshot() {
 		if e.Source != "device" {
 			continue
 		}

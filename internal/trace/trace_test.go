@@ -5,6 +5,7 @@ import (
 	"encoding/csv"
 	"encoding/json"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -207,5 +208,64 @@ func TestGanttNoSMOverlap(t *testing.T) {
 				t.Fatalf("overlapping spans: %+v vs %+v", a, b)
 			}
 		}
+	}
+}
+
+func TestConcurrentAddAndRead(t *testing.T) {
+	// The flepd event loop appends while /v1/trace handlers snapshot and
+	// export; this must be race-free (run under -race in CI). Limit keeps
+	// snapshots small so the copies stay cheap.
+	l := Log{Limit: 512}
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			l.Runtime(time.Duration(i), "submit", "k", "")
+			l.Add(Entry{Time: time.Duration(i), Source: "device", Kind: "resident", Kernel: "k"})
+		}
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = l.Entries()
+				_ = l.Filter("submit")
+				_ = l.Gantt()
+				_ = l.Len()
+				var buf bytes.Buffer
+				_ = l.WriteJSON(&buf)
+			}
+		}()
+	}
+	time.Sleep(10 * time.Millisecond)
+	close(stop)
+	wg.Wait()
+	if l.Len() == 0 {
+		t.Fatal("no entries recorded")
+	}
+}
+
+func TestLogLimitEvictsOldest(t *testing.T) {
+	l := Log{Limit: 3}
+	for i := 0; i < 10; i++ {
+		l.Runtime(time.Duration(i), "submit", "k", "")
+	}
+	es := l.Entries()
+	if len(es) != 3 {
+		t.Fatalf("len = %d, want 3", len(es))
+	}
+	if es[0].Time != 7 || es[2].Time != 9 {
+		t.Fatalf("kept wrong window: %+v", es)
+	}
+	if l.Dropped() != 7 {
+		t.Fatalf("dropped = %d, want 7", l.Dropped())
 	}
 }
