@@ -17,6 +17,8 @@
 //	POST /v1/pause      park the scheduler (arrivals queue up)
 //	POST /v1/resume     unpark
 //	GET  /healthz       liveness (503 while draining)
+//	GET  /metrics       Prometheus text exposition (runtime, device,
+//	                    policy, and server metric families)
 //
 // SIGINT/SIGTERM starts a graceful drain: new launches get 503, queued
 // and in-flight invocations run to completion, then the process exits.

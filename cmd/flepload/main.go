@@ -32,6 +32,8 @@ import (
 	"strings"
 	"sync"
 	"time"
+
+	"flep/internal/obs"
 )
 
 // launchRequest mirrors server.LaunchRequest (flepload speaks only the
@@ -129,6 +131,10 @@ func main() {
 
 	httpc := &http.Client{Timeout: *timeout + 10*time.Second}
 	st := &stats{}
+	before, merr := scrapeMetrics(*addr)
+	if merr != nil {
+		fmt.Printf("flepload: no /metrics before run (%v); deltas disabled\n", merr)
+	}
 	start := time.Now()
 	var wg sync.WaitGroup
 	for c := 0; c < *clients; c++ {
@@ -153,7 +159,79 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Printf("exactly-once:  OK (no lost or duplicated invocations)\n")
+
+	// Scrape after the daemon is at rest (verifyExactlyOnce polled for
+	// that), so the deltas cover exactly this run's work.
+	if merr == nil {
+		after, err := scrapeMetrics(*addr)
+		if err != nil {
+			fmt.Printf("flepload: no /metrics after run: %v\n", err)
+			return
+		}
+		reportMetricsDeltas(before, after)
+	}
 }
+
+// scrapeMetrics fetches and parses the daemon's Prometheus exposition.
+func scrapeMetrics(addr string) (obs.Snapshot, error) {
+	resp, err := http.Get(addr + "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("GET /metrics: %s", resp.Status)
+	}
+	return obs.ParseText(resp.Body)
+}
+
+// reportMetricsDeltas prints the daemon-side view of the run: what the
+// scheduler, device, and policy did while the clients were hammering it.
+// Everything is an after−before delta, so a long-lived daemon's history
+// does not pollute this run's numbers.
+func reportMetricsDeltas(before, after obs.Snapshot) {
+	d := func(key string) float64 { return obs.Delta(before, after, key) }
+	dFam := func(name string) float64 { return after.SumFamily(name) - before.SumFamily(name) }
+	mean := func(name string) (float64, float64) {
+		n := d(name + "_count")
+		if n == 0 {
+			return 0, 0
+		}
+		return d(name+"_sum") / n, n
+	}
+
+	fmt.Printf("\ndaemon deltas (/metrics, after − before):\n")
+	fmt.Printf("  runtime:     submits=%.0f dispatches=%.0f (primary=%.0f guest=%.0f)\n",
+		d("flep_runtime_submits_total"),
+		dFam("flep_runtime_dispatches_total"),
+		d(`flep_runtime_dispatches_total{kind="primary"}`),
+		d(`flep_runtime_dispatches_total{kind="guest"}`))
+	fmt.Printf("  preemptions: temporal=%.0f spatial=%.0f aborted=%.0f\n",
+		d(`flep_runtime_preemptions_total{mode="temporal"}`),
+		d(`flep_runtime_preemptions_total{mode="spatial"}`),
+		d("flep_runtime_preempt_aborts_total"))
+	if m, n := mean("flep_runtime_drain_latency_seconds"); n > 0 {
+		fmt.Printf("  drains:      %.0f, mean latency %v (virtual)\n", n, secs(m))
+	}
+	if m, n := mean("flep_runtime_overhead_prediction_error_seconds"); n > 0 {
+		fmt.Printf("  overhead:    mean |predicted − realized| = %v over %.0f drains\n", secs(m), n)
+	}
+	if rot := dFam("flep_ffs_epochs_total"); rot > 0 {
+		fmt.Printf("  ffs epochs:  rotations=%.0f extensions=%.0f evictions=%.0f\n",
+			d(`flep_ffs_epochs_total{kind="rotation"}`),
+			d(`flep_ffs_epochs_total{kind="extension"}`),
+			d("flep_ffs_evictions_total"))
+	}
+	fmt.Printf("  device:      launches=%.0f ctas=%.0f drains=%.0f completions=%.0f\n",
+		d("flep_device_launches_total"), d("flep_device_ctas_placed_total"),
+		d("flep_device_drains_total"), d("flep_device_completions_total"))
+	if m, n := mean("flep_server_request_latency_seconds"); n > 0 {
+		fmt.Printf("  server:      %.0f results, mean real latency %v\n", n, secs(m))
+	}
+}
+
+// secs renders a float seconds value as a duration.
+func secs(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
 
 type clientConfig struct {
 	addr, id string

@@ -3,6 +3,8 @@ package flepruntime
 import (
 	"fmt"
 	"time"
+
+	"flep/internal/sim"
 )
 
 // FFS is the paper's fairness-first policy (§5.2.2): weighted round-robin
@@ -25,12 +27,23 @@ type FFS struct {
 	rt    *Runtime
 	queue []*Invocation
 	// seen tracks each distinct kernel's overhead and weight for the
-	// epoch computation.
+	// epoch computation. Kernels are evicted when their last invocation
+	// completes (OnCompletion), so a departed tenant stops inflating
+	// baseEpoch's ΣO_i/ΣW_i sums for the daemon's lifetime.
 	seen map[string]ffsKernel
 	// curKernel owns the current epoch, which ends at epochEnd.
 	curKernel string
 	epochEnd  time.Duration
 	epochSeq  int
+	// epochTimer is the armed end-of-epoch event. A new epoch cancels the
+	// previous epoch's timer outright: relying on the epochSeq no-op alone
+	// leaves every superseded timer queued in the engine until its
+	// (possibly far-future) deadline, so a busy daemon accretes dead
+	// events and its idleness signal (Engine.Pending) never clears.
+	epochTimer *sim.Event
+	// lastEpochLen is the most recently computed epoch length (tests use
+	// it to assert the length returns to baseline after a tenant departs).
+	lastEpochLen time.Duration
 }
 
 type ffsKernel struct {
@@ -123,11 +136,24 @@ func (f *FFS) OnDispatch(r *Runtime, v *Invocation) {
 	if epoch <= 0 {
 		return
 	}
+	if f.epochTimer != nil && !f.epochTimer.Canceled() && f.epochTimer.When() > now {
+		// The previous epoch's timer is superseded; cancel it so it never
+		// sits dead in the event queue.
+		f.epochTimer.Cancel()
+		r.met.TimersCanceled.Inc()
+	}
+	if v.Kernel == f.curKernel && f.curKernel != "" {
+		r.met.EpochExtends.Inc() // sole tenant renewed its expired epoch
+	} else {
+		r.met.EpochsOpened.Inc()
+	}
 	f.curKernel = v.Kernel
 	f.epochEnd = now + epoch
 	f.epochSeq++
 	seq := f.epochSeq
-	r.Device().Engine().At(f.epochEnd, func() { f.onEpochEnd(r, seq) })
+	f.epochTimer = r.Device().Engine().At(f.epochEnd, func() { f.onEpochEnd(r, seq) })
+	r.met.EpochLength.Observe(epoch.Seconds())
+	f.lastEpochLen = epoch
 }
 
 // onEpochEnd rotates the GPU to the next client when the epoch expires.
@@ -136,19 +162,59 @@ func (f *FFS) onEpochEnd(r *Runtime, seq int) {
 		return // a newer epoch superseded this timer
 	}
 	owner := f.curKernel
-	f.curKernel = ""
 	running := r.Running()
 	if running == nil || running.Kernel != owner || running.State() != InvRunning {
+		f.curKernel = ""
 		r.schedule()
 		return
 	}
 	if f.Peek() == nil {
 		// Nobody else waiting: extend the owner's epoch in place.
+		// curKernel is left set so OnDispatch can tell an extension from a
+		// rotation.
 		f.OnDispatch(r, running)
 		return
 	}
+	f.curKernel = ""
 	r.log("epoch", owner, fmt.Sprintf("expired at %v", r.Device().Now()))
 	r.PreemptRunning()
+}
+
+// OnCompletion implements the runtime's completion hook: when a kernel's
+// last invocation finishes and nothing of that kernel is queued, running,
+// or pending as a spatial guest, the kernel has departed — drop it from
+// the overhead table so future epochs are sized for the tenants actually
+// present. Without the eviction, baseEpoch keeps summing departed
+// kernels' overheads and the epoch length inflates monotonically over the
+// daemon's lifetime.
+func (f *FFS) OnCompletion(r *Runtime, v *Invocation) {
+	if _, ok := f.seen[v.Kernel]; !ok {
+		return
+	}
+	for _, q := range f.queue {
+		if q.Kernel == v.Kernel {
+			return
+		}
+	}
+	for _, x := range []*Invocation{r.running, r.guest, r.pendingGuest} {
+		if x != nil && x.Kernel == v.Kernel {
+			return
+		}
+	}
+	delete(f.seen, v.Kernel)
+	r.met.Evictions.Inc()
+	if f.curKernel == v.Kernel {
+		// The departed tenant owned the open epoch; close it so the next
+		// dispatch starts a fresh, correctly sized epoch immediately
+		// instead of inheriting the dead owner's preference window.
+		f.curKernel = ""
+		f.epochSeq++ // invalidate the armed timer
+		if f.epochTimer != nil && !f.epochTimer.Canceled() &&
+			f.epochTimer.When() > r.Device().Now() {
+			f.epochTimer.Cancel()
+			r.met.TimersCanceled.Inc()
+		}
+	}
 }
 
 // Queued implements Policy.

@@ -73,12 +73,18 @@ type Invocation struct {
 	state        InvState
 	doneTasks    int
 	waitingSince time.Duration
-	runStart     time.Duration
-	submittedAt  time.Duration
-	finishedAt   time.Duration
-	exec         *gpu.Exec
-	guest        bool // currently running as a spatial guest
-	reserved     bool // holds a device-memory reservation
+	// preemptAt and preemptPredicted record the last preempt decision:
+	// when the flag was raised and what OverheadFor predicted the drain
+	// would cost, so onDrained can report realized latency and prediction
+	// error.
+	preemptAt        time.Duration
+	preemptPredicted time.Duration
+	runStart         time.Duration
+	submittedAt      time.Duration
+	finishedAt       time.Duration
+	exec             *gpu.Exec
+	guest            bool // currently running as a spatial guest
+	reserved         bool // holds a device-memory reservation
 }
 
 // State returns the invocation's lifecycle state.

@@ -50,6 +50,15 @@ type Config struct {
 	OverheadEstimate func(kernel string) time.Duration
 	// Log, if set, receives runtime events.
 	Log *trace.Log
+	// Metrics, if set, receives runtime instrumentation (see NewMetrics).
+	Metrics *Metrics
+}
+
+// completionObserver is an optional Policy extension: policies that keep
+// per-kernel state (FFS's overhead table) implement it to learn when a
+// kernel's invocation finishes, so departed tenants can be evicted.
+type completionObserver interface {
+	OnCompletion(r *Runtime, v *Invocation)
 }
 
 // Runtime is the FLEP online engine: it owns the device, buffers
@@ -58,6 +67,7 @@ type Config struct {
 type Runtime struct {
 	dev *gpu.Device
 	cfg Config
+	met *Metrics
 
 	nextID  int
 	running *Invocation // primary execution (nil if GPU free)
@@ -77,12 +87,18 @@ func New(dev *gpu.Device, cfg Config) *Runtime {
 	if cfg.Policy == nil {
 		panic("flepruntime: config without policy")
 	}
-	r := &Runtime{dev: dev, cfg: cfg}
+	r := &Runtime{dev: dev, cfg: cfg, met: cfg.Metrics}
+	if r.met == nil {
+		r.met = &Metrics{} // inert: every instrument is nil-safe
+	}
 	if b, ok := cfg.Policy.(binder); ok {
 		b.bind(r)
 	}
 	return r
 }
+
+// Metrics returns the runtime's instrument set (never nil).
+func (r *Runtime) Metrics() *Metrics { return r.met }
 
 // Device returns the underlying device.
 func (r *Runtime) Device() *gpu.Device { return r.dev }
@@ -116,6 +132,8 @@ func (r *Runtime) Submit(v *Invocation) error {
 	}
 	v.beginWait(r.dev.Now())
 	r.cfg.Policy.Enqueue(v)
+	r.met.Submits.Inc()
+	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
 	r.log("submit", v.Kernel, fmt.Sprintf("id=%d prio=%d Te=%v", v.ID, v.Priority, v.Te))
 	r.schedule()
 	return nil
@@ -176,7 +194,17 @@ func (r *Runtime) schedule() {
 	}
 	if r.running == nil {
 		if r.guest != nil {
-			// Low SMs busy with a guest; wait for it.
+			// A spatial guest holds [0, hi); the high SMs are free. Idling
+			// them until the guest departs would stall the whole device
+			// behind one small kernel, so dispatch the next invocation as
+			// the new primary on [hi, NumSMs). When the guest completes,
+			// onComplete expands the primary back down to SM 0.
+			_, hi := r.guest.exec.SMRange()
+			if hi >= r.dev.NumSMs() {
+				return // guest covers the device; wait for it
+			}
+			r.cfg.Policy.Dequeue(best)
+			r.dispatch(best, hi, r.dev.NumSMs(), false)
 			return
 		}
 		r.cfg.Policy.Dequeue(best)
@@ -198,9 +226,12 @@ func (r *Runtime) PreemptRunning() {
 	}
 	victim := r.running
 	r.draining = true
+	victim.preemptAt = r.dev.Now()
+	victim.preemptPredicted = r.OverheadFor(victim)
 	r.log("preempt", victim.Kernel, "epoch expired")
 	if err := victim.exec.Preempt(r.dev.NumSMs()); err != nil {
 		r.draining = false
+		r.met.PreemptAborts.Inc()
 	}
 }
 
@@ -225,11 +256,14 @@ func (r *Runtime) preemptFor(best *Invocation) {
 		r.pendingGuest = best
 		r.cfg.Policy.Dequeue(best)
 	}
+	victim.preemptAt = r.dev.Now()
+	victim.preemptPredicted = r.OverheadFor(victim)
 	r.log("preempt", victim.Kernel, fmt.Sprintf("for=%s sms=%d spatial=%v", best.Kernel, need, spatial))
 	if err := victim.exec.Preempt(need); err != nil {
 		// The victim raced to completion; its completion callback will
 		// reschedule.
 		r.draining = false
+		r.met.PreemptAborts.Inc()
 		if spatial {
 			r.pendingGuest = nil
 			r.cfg.Policy.Enqueue(best)
@@ -240,6 +274,9 @@ func (r *Runtime) preemptFor(best *Invocation) {
 // dispatch starts an invocation on the SM range.
 func (r *Runtime) dispatch(v *Invocation, smLo, smHi int, asGuest bool) {
 	now := r.dev.Now()
+	if v.state == InvWaiting {
+		r.met.QueueWait.Observe((now - v.waitingSince).Seconds())
+	}
 	if !v.reserved && v.WorkingSet > 0 {
 		if err := r.dev.Reserve(v.WorkingSet); err != nil {
 			panic(fmt.Sprintf("flepruntime: dispatch %s: %v (admission bug)", v.Kernel, err))
@@ -267,9 +304,12 @@ func (r *Runtime) dispatch(v *Invocation, smLo, smHi int, asGuest bool) {
 	v.exec = exec
 	if asGuest {
 		r.guest = v
+		r.met.GuestDispatches.Inc()
 	} else {
 		r.running = v
+		r.met.Dispatches.Inc()
 	}
+	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
 	r.log("dispatch", v.Kernel, fmt.Sprintf("id=%d sms=[%d,%d) guest=%v", v.ID, smLo, smHi, asGuest))
 	r.cfg.Policy.OnDispatch(r, v)
 }
@@ -305,6 +345,11 @@ func (r *Runtime) onComplete(v *Invocation) {
 	if v.OnFinish != nil {
 		v.OnFinish(v)
 	}
+	// After OnFinish, so a closed-loop client's immediate resubmission
+	// counts as the kernel still being present (no eviction churn).
+	if co, ok := r.cfg.Policy.(completionObserver); ok {
+		co.OnCompletion(r, v)
+	}
 	r.schedule()
 }
 
@@ -324,16 +369,25 @@ func (r *Runtime) onDrained(v *Invocation, remaining int) {
 	v.chargeRun(now)
 	v.doneTasks = v.Tasks - remaining
 	v.Preemptions++
+	drain := now - v.preemptAt
+	r.met.DrainLatency.Observe(drain.Seconds())
+	if predErr := (v.preemptPredicted - drain).Seconds(); predErr >= 0 {
+		r.met.OverheadError.Observe(predErr)
+	} else {
+		r.met.OverheadError.Observe(-predErr)
+	}
 	if g := r.pendingGuest; g != nil {
 		// Spatial: victim keeps running on its remaining SMs; the guest
 		// takes the freed low SMs.
 		r.pendingGuest = nil
+		r.met.SpatialPreempts.Inc()
 		lo, _ := v.exec.SMRange()
 		r.log("drained", v.Kernel, fmt.Sprintf("spatial remaining=%d freed=[0,%d)", remaining, lo))
 		r.dispatch(g, 0, lo, true)
 		return
 	}
 	// Temporal: the victim stopped entirely; it goes back to the queue.
+	r.met.TemporalPreempts.Inc()
 	v.beginWait(now)
 	v.exec = nil
 	if r.running == v {
@@ -341,6 +395,7 @@ func (r *Runtime) onDrained(v *Invocation, remaining int) {
 	}
 	r.log("drained", v.Kernel, fmt.Sprintf("temporal remaining=%d", remaining))
 	r.cfg.Policy.Enqueue(v)
+	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
 	r.schedule()
 }
 

@@ -61,6 +61,7 @@ type Device struct {
 	execs    []*Exec
 	wake     *sim.Event // earliest completion/deadline event
 	reserved int64      // device memory currently reserved
+	met      DeviceMetrics
 }
 
 // Reserve claims bytes of device memory (a kernel's working set). It fails
@@ -75,6 +76,7 @@ func (d *Device) Reserve(bytes int64) error {
 			d.reserved, bytes, d.par.MemoryBytes)
 	}
 	d.reserved += bytes
+	d.met.MemoryReserved.Set(float64(d.reserved))
 	return nil
 }
 
@@ -84,6 +86,7 @@ func (d *Device) Release(bytes int64) {
 	if d.reserved < 0 {
 		panic("gpu: memory release exceeds reservations")
 	}
+	d.met.MemoryReserved.Set(float64(d.reserved))
 }
 
 // MemoryFree returns the unreserved device memory (capacity when the
@@ -225,6 +228,8 @@ func (d *Device) Start(cfg ExecConfig) (*Exec, error) {
 	}
 	// Register immediately so overlap checks see launching executions too.
 	d.execs = append(d.execs, e)
+	d.met.Launches.Inc()
+	d.met.Executions.Set(float64(len(d.execs)))
 	d.emit(Event{Time: d.eng.Now(), Kind: EvLaunch, Kernel: cfg.Profile.Name, SMLo: cfg.SMLo, SMHi: cfg.SMHi, Remaining: e.Remaining()})
 	delay := d.par.LaunchLatency
 	if cfg.ColdStart {
@@ -241,6 +246,9 @@ func (d *Device) becomeResident(e *Exec) {
 	e.lastSync = d.eng.Now()
 	e.place()
 	d.recomputeRates()
+	d.met.Residencies.Inc()
+	d.met.CTAsPlaced.Add(int64(e.totalCTAs()))
+	d.updateGauges()
 	d.emit(Event{Time: d.eng.Now(), Kind: EvResident, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi, Remaining: e.Remaining()})
 	if e.Remaining() == 0 {
 		d.finish(e)
@@ -421,6 +429,8 @@ func (d *Device) onWake() {
 func (d *Device) finish(e *Exec) {
 	e.state = StateDone
 	d.remove(e)
+	d.met.Completions.Inc()
+	d.updateGauges()
 	d.emit(Event{Time: d.eng.Now(), Kind: EvComplete, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi})
 	if e.draining {
 		e.draining = false
@@ -472,6 +482,8 @@ func (e *Exec) Preempt(yieldSMs int) error {
 		e.launchEv.Cancel()
 		e.state = StateStopped
 		d.remove(e)
+		d.met.Drains.Inc()
+		d.updateGauges()
 		if e.cfg.OnDrained != nil {
 			cb := e.cfg.OnDrained
 			rem := e.Remaining()
@@ -486,6 +498,7 @@ func (e *Exec) Preempt(yieldSMs int) error {
 		yieldSMs = e.smHi - e.smLo
 	}
 	d.sync()
+	d.met.PreemptRequests.Inc()
 	d.emit(Event{Time: d.eng.Now(), Kind: EvPreemptRequest, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smLo + yieldSMs, Remaining: e.Remaining()})
 	if e.draining {
 		if yieldSMs > e.drainYield {
@@ -526,6 +539,7 @@ func (d *Device) finishDrain(e *Exec) {
 	e.drainEv = nil
 	yield := e.drainYield
 	remaining := e.Remaining()
+	d.met.Drains.Inc()
 	if yield >= e.smHi-e.smLo || remaining == 0 {
 		// Whole execution yields.
 		e.state = StateStopped
@@ -546,6 +560,7 @@ func (d *Device) finishDrain(e *Exec) {
 		}
 	}
 	d.recomputeRates()
+	d.updateGauges()
 	d.reschedule()
 }
 
@@ -585,10 +600,16 @@ func (e *Exec) Expand(lo int) error {
 			}
 		}
 		d.sync()
+		before := e.totalCTAs()
 		e.smLo = lo
 		e.place()
+		if grown := e.totalCTAs() - before; grown > 0 {
+			d.met.CTAsPlaced.Add(int64(grown))
+		}
+		d.met.Residencies.Inc()
 		d.emit(Event{Time: d.eng.Now(), Kind: EvResident, Kernel: e.cfg.Profile.Name, SMLo: e.smLo, SMHi: e.smHi, Remaining: e.Remaining()})
 		d.recomputeRates()
+		d.updateGauges()
 		d.reschedule()
 	})
 	return nil

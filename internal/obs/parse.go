@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Sample is one parsed exposition line: a metric name, its rendered label
+// set (possibly ""), and the value.
+type Sample struct {
+	Name   string
+	Labels string // canonical {k="v",...} rendering, "" when unlabeled
+	Value  float64
+}
+
+// Key returns the name+labels identity used by Snapshot maps.
+func (s Sample) Key() string { return s.Name + s.Labels }
+
+// Snapshot is a parsed scrape: metric key (name plus rendered labels) →
+// value. Histograms appear as their _bucket/_sum/_count series.
+type Snapshot map[string]float64
+
+// Get returns the value for a bare metric name or full key, and whether
+// it was present.
+func (s Snapshot) Get(key string) (float64, bool) {
+	v, ok := s[key]
+	return v, ok
+}
+
+// SumFamily adds up every sample whose name (ignoring labels) equals
+// name: the family-wide total of a labeled counter.
+func (s Snapshot) SumFamily(name string) float64 {
+	total := 0.0
+	for k, v := range s {
+		if k == name || strings.HasPrefix(k, name+"{") {
+			total += v
+		}
+	}
+	return total
+}
+
+// Delta returns after − before for the key (missing keys read as 0).
+func Delta(before, after Snapshot, key string) float64 {
+	return after[key] - before[key]
+}
+
+// ParseText parses Prometheus text exposition (the subset WritePrometheus
+// emits: HELP/TYPE comments and simple sample lines) into a Snapshot.
+// Malformed sample lines are an error; comments and blanks are skipped.
+func ParseText(r io.Reader) (Snapshot, error) {
+	out := Snapshot{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		sample, err := parseLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out[sample.Key()] = sample.Value
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseLine splits `name{labels} value` (labels optional).
+func parseLine(line string) (Sample, error) {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd <= 0 {
+		return Sample{}, fmt.Errorf("obs: malformed sample line %q", line)
+	}
+	s := Sample{Name: line[:nameEnd]}
+	rest := line[nameEnd:]
+	if rest[0] == '{' {
+		end := strings.Index(rest, "}")
+		if end < 0 {
+			return Sample{}, fmt.Errorf("obs: unterminated labels in %q", line)
+		}
+		s.Labels = rest[:end+1]
+		rest = rest[end+1:]
+	}
+	rest = strings.TrimSpace(rest)
+	// A timestamp after the value is legal Prometheus; keep the first field.
+	if i := strings.IndexByte(rest, ' '); i >= 0 {
+		rest = rest[:i]
+	}
+	v, err := parseValue(rest)
+	if err != nil {
+		return Sample{}, fmt.Errorf("obs: bad value in %q: %v", line, err)
+	}
+	s.Value = v
+	return s, nil
+}
+
+func parseValue(s string) (float64, error) {
+	switch s {
+	case "+Inf":
+		return strconv.ParseFloat("+inf", 64)
+	case "-Inf":
+		return strconv.ParseFloat("-inf", 64)
+	}
+	return strconv.ParseFloat(s, 64)
+}

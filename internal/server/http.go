@@ -79,6 +79,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/pause", s.handlePause)
 	mux.HandleFunc("POST /v1/resume", s.handleResume)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
 
@@ -132,8 +133,10 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		case errors.Is(err, ErrQueueFull):
 			s.c.RejectedFull++
 			sess.RejectedFull++
+			s.met.RejectedFull.Inc()
 		default:
 			s.c.RejectedDraining++
+			s.met.RejectedDraining.Inc()
 		}
 		s.mu.Unlock()
 		if errors.Is(err, ErrQueueFull) {
@@ -144,6 +147,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		}
 		return
 	}
+	s.met.Enqueued.Inc()
 	s.mu.Lock()
 	s.c.Enqueued++
 	s.session(client).Launches++
@@ -159,6 +163,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	defer timer.Stop()
 	select {
 	case res := <-q.done:
+		s.met.RequestLatency.Observe(time.Since(q.enqueuedReal).Seconds())
 		if res.Err != "" {
 			writeJSON(w, http.StatusUnprocessableEntity, res)
 			return
@@ -167,6 +172,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	case <-timer.C:
 		// The invocation is NOT lost: the loop finishes and accounts it;
 		// only this handler stops waiting.
+		s.met.TimedOut.Inc()
 		s.mu.Lock()
 		s.c.TimedOut++
 		s.session(client).TimedOut++
@@ -174,6 +180,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusGatewayTimeout,
 			apiError{"timed out waiting for completion; the invocation still runs to completion"})
 	case <-r.Context().Done():
+		s.met.Canceled.Inc()
 		s.mu.Lock()
 		s.c.Canceled++
 		s.mu.Unlock()
@@ -181,6 +188,7 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) countInvalid(client string) {
+	s.met.RejectedInvalid.Inc()
 	s.mu.Lock()
 	s.c.RejectedInvalid++
 	if client != "" {

@@ -213,6 +213,7 @@ func (s *Server) handleCtrl(m ctrlMsg, paused, draining bool) bool {
 // runtime. Runs on the loop goroutine.
 func (s *Server) admit(q *launchReq) {
 	q.admitReal = time.Now()
+	s.met.AdmissionWait.Observe(q.admitReal.Sub(q.enqueuedReal).Seconds())
 	a := s.sys.Artifacts(q.bench.Name)
 	in := q.bench.Input(q.class)
 	if q.tasksOverride > 0 {
@@ -237,6 +238,7 @@ func (s *Server) admit(q *launchReq) {
 		OnFinish:   func(fv *flepruntime.Invocation) { s.complete(q, fv) },
 	}
 	if err := s.rt.Submit(v); err != nil {
+		s.met.SubmitErrors.Inc()
 		s.mu.Lock()
 		s.c.SubmitErrors++
 		if sess := s.sessions[q.client]; sess != nil {
@@ -276,6 +278,7 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 			res.NTT = fv.Turnaround().Seconds() / solo.Seconds()
 		}
 	}
+	s.met.Completed.Inc()
 	s.mu.Lock()
 	s.c.Completed++
 	if sess := s.sessions[q.client]; sess != nil {

@@ -1,0 +1,90 @@
+package server
+
+import (
+	"net/http"
+
+	"flep/internal/obs"
+)
+
+// serverMetrics mirrors the daemon's request accounting (the counters
+// struct) onto the observability registry, plus the real-time latency
+// distributions that the JSON counters cannot express. The counters
+// struct under Server.mu stays the source of truth for /v1/status and
+// the exactly-once invariant; these instruments are incremented at the
+// same sites, so `flep_server_launches_total{outcome=...}` reconciles
+// exactly with /v1/status at rest.
+type serverMetrics struct {
+	// Launch outcomes, labeled so one family tells the whole admission
+	// story: enqueued (accepted into the queue), completed, submit_error
+	// (runtime rejection), rejected_queue_full, rejected_draining,
+	// rejected_invalid, timed_out (handler gave up; invocation ran on),
+	// canceled (client went away).
+	Enqueued         *obs.Counter
+	Completed        *obs.Counter
+	SubmitErrors     *obs.Counter
+	RejectedFull     *obs.Counter
+	RejectedDraining *obs.Counter
+	RejectedInvalid  *obs.Counter
+	TimedOut         *obs.Counter
+	Canceled         *obs.Counter
+
+	// RequestLatency is the real wall-clock time from enqueue to the
+	// handler receiving its terminal result. AdmissionWait is the real
+	// time a request sat in the bounded queue before the loop admitted
+	// it (the backpressure signal).
+	RequestLatency *obs.Histogram
+	AdmissionWait  *obs.Histogram
+}
+
+// newServerMetrics registers the server metric families and the
+// scrape-time gauges that read live daemon state.
+func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
+	launch := func(outcome string) *obs.Counter {
+		return reg.Counter("flep_server_launches_total",
+			"Launch requests by terminal outcome", "outcome", outcome)
+	}
+	m := &serverMetrics{
+		Enqueued:         launch("enqueued"),
+		Completed:        launch("completed"),
+		SubmitErrors:     launch("submit_error"),
+		RejectedFull:     launch("rejected_queue_full"),
+		RejectedDraining: launch("rejected_draining"),
+		RejectedInvalid:  launch("rejected_invalid"),
+		TimedOut:         launch("timed_out"),
+		Canceled:         launch("canceled"),
+		RequestLatency: reg.Histogram("flep_server_request_latency_seconds",
+			"Real time from enqueue to the handler receiving its result", nil),
+		AdmissionWait: reg.Histogram("flep_server_admission_wait_seconds",
+			"Real time a request spent in the bounded admission queue", nil),
+	}
+	reg.GaugeFunc("flep_server_queue_depth", "Launch requests waiting in the admission queue",
+		func() float64 { return float64(len(s.submitCh)) })
+	reg.GaugeFunc("flep_server_queue_capacity", "Admission queue capacity",
+		func() float64 { return float64(cap(s.submitCh)) })
+	reg.GaugeFunc("flep_server_sessions", "Client sessions seen by the daemon",
+		func() float64 {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			return float64(len(s.sessions))
+		})
+	reg.GaugeFunc("flep_server_virtual_time_seconds", "The simulation's virtual clock",
+		func() float64 { return s.VirtualNow().Seconds() })
+	reg.GaugeFunc("flep_server_paused", "1 while the scheduler loop is parked",
+		func() float64 {
+			if s.paused.Load() {
+				return 1
+			}
+			return 0
+		})
+	return m
+}
+
+// Registry exposes the daemon's metrics registry (tests and embedders
+// scrape it directly; HTTP clients use GET /metrics).
+func (s *Server) Registry() *obs.Registry { return s.reg }
+
+// handleMetrics serves the Prometheus text exposition.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = s.reg.WritePrometheus(w)
+}

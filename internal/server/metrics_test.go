@@ -1,0 +1,269 @@
+package server
+
+import (
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"flep/internal/obs"
+)
+
+// scrape fetches and parses GET /metrics.
+func scrape(t *testing.T, url string) obs.Snapshot {
+	t.Helper()
+	resp, err := http.Get(url + "/metrics")
+	if err != nil {
+		t.Fatalf("GET /metrics: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics: %s", resp.Status)
+	}
+	if ct := resp.Header.Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("Content-Type = %q", ct)
+	}
+	snap, err := obs.ParseText(resp.Body)
+	if err != nil {
+		t.Fatalf("parse /metrics: %v", err)
+	}
+	return snap
+}
+
+func TestMetricsEndpointServesAllFamilies(t *testing.T) {
+	_, ts := newTestServer(t, Config{})
+	if code, _ := launch(t, ts.URL, LaunchRequest{Benchmark: "VA"}); code != http.StatusOK {
+		t.Fatal("launch failed")
+	}
+	snap := scrape(t, ts.URL)
+
+	// One representative per layer: server, runtime, device, policy.
+	for _, key := range []string{
+		`flep_server_launches_total{outcome="enqueued"}`,
+		"flep_server_queue_depth",
+		"flep_runtime_submits_total",
+		`flep_runtime_dispatches_total{kind="primary"}`,
+		"flep_device_launches_total",
+		"flep_device_sm_busy",
+		`flep_ffs_epochs_total{kind="rotation"}`, // registered even under HPF
+		"flep_server_request_latency_seconds_count",
+	} {
+		if _, ok := snap.Get(key); !ok {
+			t.Errorf("missing metric %s", key)
+		}
+	}
+	if v, _ := snap.Get("flep_runtime_submits_total"); v != 1 {
+		t.Fatalf("flep_runtime_submits_total = %v, want 1", v)
+	}
+	if v, _ := snap.Get("flep_device_completions_total"); v != 1 {
+		t.Fatalf("flep_device_completions_total = %v, want 1", v)
+	}
+}
+
+// TestMetricsEndToEndReconciliation is the acceptance-criteria e2e test:
+// after a concurrent run with successes, invalid requests, and a runtime
+// rejection, the daemon-side /metrics counters must reconcile exactly
+// with client-side exactly-once accounting — no lost or double-counted
+// invocation anywhere in the server → runtime → device pipeline.
+func TestMetricsEndToEndReconciliation(t *testing.T) {
+	_, ts := newTestServer(t, Config{RequestTimeout: time.Minute})
+
+	const workers = 4
+	const perWorker = 5
+	var oks atomic.Int64
+	var wg sync.WaitGroup
+	benchNames := []string{"VA", "MM"}
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				code, res := launch(t, ts.URL, LaunchRequest{
+					Client:    "rec",
+					Benchmark: benchNames[(w+i)%2],
+					Priority:  1 + (w+i)%2,
+				})
+				if code == http.StatusOK && res.Err == "" {
+					oks.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := oks.Load(); got != workers*perWorker {
+		t.Fatalf("ok launches = %d, want %d", got, workers*perWorker)
+	}
+
+	// Two invalid requests (never enqueued) and one runtime rejection
+	// (enqueued, then rejected by Submit).
+	for _, req := range []LaunchRequest{{Benchmark: "NOPE"}, {Benchmark: "VA", Class: "gigantic"}} {
+		if code, _ := launch(t, ts.URL, req); code != http.StatusBadRequest {
+			t.Fatalf("invalid request got %d", code)
+		}
+	}
+	if code, _ := launch(t, ts.URL, LaunchRequest{Benchmark: "VA", TasksOverride: 1 << 34}); code != http.StatusUnprocessableEntity {
+		t.Fatalf("oversized request got %d", code)
+	}
+
+	waitFor(t, "daemon at rest", func() bool {
+		st := getStatus(t, ts.URL)
+		return st.Counters.Completed+st.Counters.SubmitErrors == st.Counters.Enqueued
+	})
+	snap := scrape(t, ts.URL)
+	get := func(key string) float64 {
+		v, ok := snap.Get(key)
+		if !ok {
+			t.Fatalf("metric %s missing from scrape", key)
+		}
+		return v
+	}
+
+	const completed = workers * perWorker
+	enq := get(`flep_server_launches_total{outcome="enqueued"}`)
+	comp := get(`flep_server_launches_total{outcome="completed"}`)
+	serr := get(`flep_server_launches_total{outcome="submit_error"}`)
+	if enq != completed+1 || comp != completed || serr != 1 {
+		t.Fatalf("server counters: enqueued=%v completed=%v submit_errors=%v", enq, comp, serr)
+	}
+	if comp+serr != enq {
+		t.Fatalf("exactly-once violated in /metrics: %v + %v != %v", comp, serr, enq)
+	}
+	if inv := get(`flep_server_launches_total{outcome="rejected_invalid"}`); inv != 2 {
+		t.Fatalf("rejected_invalid = %v, want 2", inv)
+	}
+
+	// The JSON view and the Prometheus view must agree exactly.
+	st := getStatus(t, ts.URL)
+	if int64(enq) != st.Counters.Enqueued || int64(comp) != st.Counters.Completed ||
+		int64(serr) != st.Counters.SubmitErrors {
+		t.Fatalf("/metrics and /v1/status disagree: metrics enq=%v comp=%v serr=%v, status %+v",
+			enq, comp, serr, st.Counters)
+	}
+
+	// Down the pipeline: every enqueued-and-admitted launch reached the
+	// runtime exactly once, and every runtime completion came off the
+	// device exactly once.
+	if subs := get("flep_runtime_submits_total"); subs != comp {
+		t.Fatalf("runtime submits = %v, want %v (enqueued minus rejects)", subs, comp)
+	}
+	if devComp := get("flep_device_completions_total"); devComp != comp {
+		t.Fatalf("device completions = %v, want %v", devComp, comp)
+	}
+	dispatches := snap.SumFamily("flep_runtime_dispatches_total")
+	if devLaunch := get("flep_device_launches_total"); devLaunch != dispatches {
+		t.Fatalf("device launches %v != runtime dispatches %v", devLaunch, dispatches)
+	}
+	// Re-dispatches after temporal preemption make dispatches ≥ submits.
+	temporal := get(`flep_runtime_preemptions_total{mode="temporal"}`)
+	if primary := get(`flep_runtime_dispatches_total{kind="primary"}`); primary != comp+temporal {
+		t.Fatalf("primary dispatches = %v, want completions %v + temporal preemptions %v",
+			primary, comp, temporal)
+	}
+
+	// Latency histograms saw every answered request: OKs plus the 422.
+	if n := get("flep_server_request_latency_seconds_count"); n != completed+1 {
+		t.Fatalf("request latency count = %v, want %v", n, completed+1)
+	}
+	if n := get("flep_server_admission_wait_seconds_count"); n != enq {
+		t.Fatalf("admission wait count = %v, want %v", n, enq)
+	}
+
+	// At rest the occupancy gauges read idle.
+	if busy := get("flep_device_sm_busy"); busy != 0 {
+		t.Fatalf("sm busy = %v at rest", busy)
+	}
+	if q := get("flep_runtime_queue_length"); q != 0 {
+		t.Fatalf("runtime queue length = %v at rest", q)
+	}
+}
+
+// TestFFSSoakUnderDaemon soaks an FFS daemon through ≥200 epoch
+// rotations driven over HTTP by two closed-loop clients of unequal
+// weight, then verifies the long-lived health invariants from the
+// scraped metrics: rotations happened at scale, departed tenants were
+// evicted, superseded timers were reclaimed, and the request accounting
+// still reconciles exactly.
+func TestFFSSoakUnderDaemon(t *testing.T) {
+	_, ts := newTestServer(t, Config{
+		Policy:         "ffs",
+		Benchmarks:     []string{"VA", "MM"},
+		RequestTimeout: 2 * time.Minute,
+	})
+	ts.Config.SetKeepAlivesEnabled(false)
+
+	// Closed-loop clients: VA large runs ~30ms of virtual time against
+	// sub-millisecond epochs, so each co-run round yields dozens of
+	// rotations.
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+	worker := func(bench string, prio int) {
+		defer wg.Done()
+		for !stop.Load() {
+			code, res := launch(t, ts.URL, LaunchRequest{
+				Client: bench, Benchmark: bench, Class: "large", Priority: prio,
+			})
+			if code != http.StatusOK || res.Err != "" {
+				t.Errorf("%s launch failed: code=%d err=%q", bench, code, res.Err)
+				return
+			}
+		}
+	}
+	wg.Add(2)
+	go worker("VA", 1)
+	go worker("MM", 3)
+
+	deadline := time.Now().Add(60 * time.Second)
+	var rotations float64
+	for time.Now().Before(deadline) {
+		rotations, _ = scrape(t, ts.URL).Get(`flep_ffs_epochs_total{kind="rotation"}`)
+		if rotations >= 200 {
+			break
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+	stop.Store(true)
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	if rotations < 200 {
+		t.Fatalf("epoch rotations = %v after soak, want ≥ 200", rotations)
+	}
+
+	waitFor(t, "daemon at rest", func() bool {
+		st := getStatus(t, ts.URL)
+		return st.Counters.Completed+st.Counters.SubmitErrors == st.Counters.Enqueued
+	})
+	snap := scrape(t, ts.URL)
+
+	// Both tenants departed: the overhead table must be empty again
+	// (evictions ≥ tenant count; the gauge-equivalent is the eviction
+	// counter matching the rotation owners that left).
+	if ev, _ := snap.Get("flep_ffs_evictions_total"); ev < 2 {
+		t.Fatalf("ffs evictions = %v, want ≥ 2 (both tenants departed)", ev)
+	}
+	// Epoch lengths stayed bounded: the mean epoch cannot exceed the
+	// 60ms two-tenant co-run horizon; unbounded seen-map growth would
+	// drag the mean upward with every departed-tenant re-arrival.
+	count, _ := snap.Get("flep_ffs_epoch_length_seconds_count")
+	sum, _ := snap.Get("flep_ffs_epoch_length_seconds_sum")
+	if count == 0 {
+		t.Fatal("no epoch lengths observed")
+	}
+	if mean := sum / count; mean > 0.060 {
+		t.Fatalf("mean epoch length %.4fs: epoch sizing unbounded", mean)
+	}
+	// Exactly-once from metrics alone.
+	enq, _ := snap.Get(`flep_server_launches_total{outcome="enqueued"}`)
+	comp, _ := snap.Get(`flep_server_launches_total{outcome="completed"}`)
+	serr, _ := snap.Get(`flep_server_launches_total{outcome="submit_error"}`)
+	if comp+serr != enq || enq == 0 {
+		t.Fatalf("exactly-once violated after soak: enqueued=%v completed=%v submit_errors=%v",
+			enq, comp, serr)
+	}
+	if devComp, _ := snap.Get("flep_device_completions_total"); devComp != comp {
+		t.Fatalf("device completions %v != server completions %v", devComp, comp)
+	}
+}

@@ -28,6 +28,7 @@ import (
 	"flep/internal/flepruntime"
 	"flep/internal/gpu"
 	"flep/internal/kernels"
+	"flep/internal/obs"
 	"flep/internal/sim"
 	"flep/internal/trace"
 )
@@ -132,6 +133,8 @@ type Server struct {
 	rt      *flepruntime.Runtime
 	ffs     *flepruntime.FFS // non-nil iff cfg.Policy == "ffs"
 	tlog    *trace.Log       // nil unless cfg.Trace
+	reg     *obs.Registry
+	met     *serverMetrics
 	benches map[string]*kernels.Benchmark
 	solo    map[soloKey]time.Duration // immutable after New
 	info    []BenchmarkInfo           // immutable after New
@@ -238,14 +241,18 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 		return nil, fmt.Errorf("server: unknown policy %q", cfg.Policy)
 	}
 
+	s.reg = obs.NewRegistry()
+	s.met = newServerMetrics(s.reg, s)
 	s.eng = sim.New()
 	s.dev = gpu.New(s.eng, cfg.Params)
+	s.dev.Instrument(gpu.NewDeviceMetrics(s.reg))
 	if cfg.Trace {
 		s.tlog = &trace.Log{Limit: cfg.TraceLimit}
 		s.dev.Observer = s.tlog.DeviceObserver()
 	}
 	s.rt = flepruntime.New(s.dev, flepruntime.Config{
 		Policy:        policy,
+		Metrics:       flepruntime.NewMetrics(s.reg),
 		EnableSpatial: cfg.Spatial,
 		SpatialSMs:    cfg.SpatialSMs,
 		OverheadEstimate: func(kernel string) time.Duration {

@@ -103,8 +103,20 @@ func (e *Engine) At(when time.Duration, fn func()) *Event {
 	return ev
 }
 
-// Pending returns the number of queued (possibly canceled) events.
-func (e *Engine) Pending() int { return len(e.queue) }
+// Pending returns the number of queued events that can still fire.
+// Canceled events sit in the heap until their time comes up, but they are
+// dead weight, not pending work — a long-lived daemon uses Pending as its
+// idleness signal, so counting them would keep an idle engine looking
+// busy.
+func (e *Engine) Pending() int {
+	n := 0
+	for _, ev := range e.queue {
+		if !ev.canceled {
+			n++
+		}
+	}
+	return n
+}
 
 // Step fires the earliest pending event, advancing the clock to its time.
 // It reports whether an event fired.

@@ -174,6 +174,29 @@ func TestPending(t *testing.T) {
 	}
 }
 
+func TestPendingIgnoresCanceledEvents(t *testing.T) {
+	e := New()
+	a := e.Schedule(1, func() {})
+	b := e.Schedule(2, func() {})
+	c := e.Schedule(3, func() {})
+	a.Cancel()
+	if got := e.Pending(); got != 2 {
+		t.Fatalf("Pending = %d after one cancel, want 2", got)
+	}
+	c.Cancel()
+	if got := e.Pending(); got != 1 {
+		t.Fatalf("Pending = %d after two cancels, want 1", got)
+	}
+	// A daemon that cancels every timer it armed must read as idle.
+	b.Cancel()
+	if got := e.Pending(); got != 0 {
+		t.Fatalf("Pending = %d with all events canceled, want 0", got)
+	}
+	if e.Step() {
+		t.Fatal("Step fired a canceled event")
+	}
+}
+
 // Property: events always fire in nondecreasing time order, and every
 // non-canceled event fires exactly once.
 func TestPropertyOrderAndExactlyOnce(t *testing.T) {
