@@ -2,10 +2,15 @@
 // artifacts for the selected benchmarks at startup, then serves
 // kernel-launch requests from concurrent clients over HTTP, routing them
 // through the FLEP runtime engine (HPF or FFS) on the simulated K40.
+// With -devices N it runs a fleet of N device shards behind one front
+// door: each shard owns its own simulated K40 and event loop, a
+// memory-aware least-loaded router places every admitted launch, and the
+// read endpoints aggregate across shards with a device label.
 //
 // Usage:
 //
 //	flepd -addr :7450 -policy hpf -spatial -bench VA,MM,SPMV -trace
+//	flepd -devices 4 -bench VA,MM     # four-shard fleet
 //
 // Endpoints:
 //
@@ -56,6 +61,8 @@ func main() {
 		traceLimit   = flag.Int("trace-limit", 65536, "max retained trace entries")
 		pace         = flag.Duration("pace", 0, "real-time sleep per simulated event (0 = full speed)")
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain bound")
+		devices      = flag.Int("devices", 1, "number of device shards in the fleet")
+		affinity     = flag.Bool("affinity", true, "pin each client to the shard of its first launch")
 	)
 	flag.Parse()
 
@@ -63,24 +70,29 @@ func main() {
 	if err != nil {
 		log.Fatalf("flepd: %v", err)
 	}
-	cfg := server.Config{
-		Policy:         *policy,
-		Spatial:        *spatial,
-		SpatialSMs:     *spatialSMs,
-		MaxOverhead:    *maxOverhead,
-		Weights:        weights,
-		Benchmarks:     parseBenchList(*benchFlag),
-		QueueDepth:     *queueDepth,
-		RequestTimeout: *reqTimeout,
-		Trace:          *traceOn,
-		TraceLimit:     *traceLimit,
-		Pace:           *pace,
-		Logf:           log.Printf,
+	cfg := server.FleetConfig{
+		Config: server.Config{
+			Policy:         *policy,
+			Spatial:        *spatial,
+			SpatialSMs:     *spatialSMs,
+			MaxOverhead:    *maxOverhead,
+			Weights:        weights,
+			Benchmarks:     parseBenchList(*benchFlag),
+			QueueDepth:     *queueDepth,
+			RequestTimeout: *reqTimeout,
+			Trace:          *traceOn,
+			TraceLimit:     *traceLimit,
+			Pace:           *pace,
+			Logf:           log.Printf,
+		},
+		Devices:  *devices,
+		Affinity: *affinity,
 	}
 
-	log.Printf("flepd: building offline artifacts (policy=%s spatial=%v)", cfg.Policy, cfg.Spatial)
+	log.Printf("flepd: building offline artifacts (policy=%s spatial=%v devices=%d)",
+		cfg.Policy, cfg.Spatial, cfg.Devices)
 	start := time.Now()
-	srv, err := server.New(cfg)
+	srv, err := server.NewFleet(cfg)
 	if err != nil {
 		log.Fatalf("flepd: %v", err)
 	}
@@ -105,16 +117,24 @@ func main() {
 	if err := srv.Shutdown(ctx); err != nil {
 		log.Printf("flepd: drain incomplete: %v", err)
 	} else {
-		log.Printf("flepd: drained cleanly at virtual %v", srv.VirtualNow())
+		for i := 0; i < srv.Devices(); i++ {
+			log.Printf("flepd: device %d drained cleanly at virtual %v", i, srv.Shard(i).VirtualNow())
+		}
 	}
 	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		log.Printf("flepd: http shutdown: %v", err)
 	}
 	c := srv.Counters()
-	log.Printf("flepd: enqueued=%d completed=%d submit_errors=%d rejected_full=%d timed_out=%d",
+	log.Printf("flepd: fleet enqueued=%d completed=%d submit_errors=%d rejected_full=%d timed_out=%d",
 		c["enqueued"], c["completed"], c["submit_errors"], c["rejected_queue_full"], c["timed_out"])
 	if c["completed"]+c["submit_errors"] != c["enqueued"] {
-		log.Fatalf("flepd: exactly-once invariant violated at exit")
+		log.Fatalf("flepd: fleet exactly-once invariant violated at exit")
+	}
+	for i := 0; i < srv.Devices(); i++ {
+		sc := srv.Shard(i).Counters()
+		if sc["completed"]+sc["submit_errors"] != sc["enqueued"] {
+			log.Fatalf("flepd: device %d exactly-once invariant violated at exit", i)
+		}
 	}
 }
 

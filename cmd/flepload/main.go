@@ -50,6 +50,7 @@ type launchRequest struct {
 // launchResult mirrors server.LaunchResult.
 type launchResult struct {
 	ID           int     `json:"id"`
+	Device       int     `json:"device"`
 	Kernel       string  `json:"kernel"`
 	TurnaroundNS int64   `json:"turnaround_ns"`
 	WaitingNS    int64   `json:"waiting_ns"`
@@ -77,6 +78,7 @@ type benchInfo struct {
 // sample is one completed request as seen by a client.
 type sample struct {
 	id          int
+	device      int
 	realLatency time.Duration
 	turnaround  time.Duration
 	waiting     time.Duration
@@ -190,8 +192,12 @@ func scrapeMetrics(addr string) (obs.Snapshot, error) {
 // Everything is an after−before delta, so a long-lived daemon's history
 // does not pollute this run's numbers.
 func reportMetricsDeltas(before, after obs.Snapshot) {
-	d := func(key string) float64 { return obs.Delta(before, after, key) }
-	dFam := func(name string) float64 { return after.SumFamily(name) - before.SumFamily(name) }
+	// SumMatching tolerates the fleet's injected device label: a family
+	// delta sums every shard's series, and a ("kind", "primary") match
+	// still selects the right members whatever other labels ride along.
+	d := func(name string, pairs ...string) float64 {
+		return after.SumMatching(name, pairs...) - before.SumMatching(name, pairs...)
+	}
 	mean := func(name string) (float64, float64) {
 		n := d(name + "_count")
 		if n == 0 {
@@ -200,15 +206,15 @@ func reportMetricsDeltas(before, after obs.Snapshot) {
 		return d(name+"_sum") / n, n
 	}
 
-	fmt.Printf("\ndaemon deltas (/metrics, after − before):\n")
+	fmt.Printf("\ndaemon deltas (/metrics, after − before, all devices):\n")
 	fmt.Printf("  runtime:     submits=%.0f dispatches=%.0f (primary=%.0f guest=%.0f)\n",
 		d("flep_runtime_submits_total"),
-		dFam("flep_runtime_dispatches_total"),
-		d(`flep_runtime_dispatches_total{kind="primary"}`),
-		d(`flep_runtime_dispatches_total{kind="guest"}`))
+		d("flep_runtime_dispatches_total"),
+		d("flep_runtime_dispatches_total", "kind", "primary"),
+		d("flep_runtime_dispatches_total", "kind", "guest"))
 	fmt.Printf("  preemptions: temporal=%.0f spatial=%.0f aborted=%.0f\n",
-		d(`flep_runtime_preemptions_total{mode="temporal"}`),
-		d(`flep_runtime_preemptions_total{mode="spatial"}`),
+		d("flep_runtime_preemptions_total", "mode", "temporal"),
+		d("flep_runtime_preemptions_total", "mode", "spatial"),
 		d("flep_runtime_preempt_aborts_total"))
 	if m, n := mean("flep_runtime_drain_latency_seconds"); n > 0 {
 		fmt.Printf("  drains:      %.0f, mean latency %v (virtual)\n", n, secs(m))
@@ -216,10 +222,10 @@ func reportMetricsDeltas(before, after obs.Snapshot) {
 	if m, n := mean("flep_runtime_overhead_prediction_error_seconds"); n > 0 {
 		fmt.Printf("  overhead:    mean |predicted − realized| = %v over %.0f drains\n", secs(m), n)
 	}
-	if rot := dFam("flep_ffs_epochs_total"); rot > 0 {
+	if rot := d("flep_ffs_epochs_total"); rot > 0 {
 		fmt.Printf("  ffs epochs:  rotations=%.0f extensions=%.0f evictions=%.0f\n",
-			d(`flep_ffs_epochs_total{kind="rotation"}`),
-			d(`flep_ffs_epochs_total{kind="extension"}`),
+			d("flep_ffs_epochs_total", "kind", "rotation"),
+			d("flep_ffs_epochs_total", "kind", "extension"),
 			d("flep_ffs_evictions_total"))
 	}
 	fmt.Printf("  device:      launches=%.0f ctas=%.0f drains=%.0f completions=%.0f\n",
@@ -300,6 +306,7 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 		}
 		s := sample{
 			id:          res.ID,
+			device:      res.Device,
 			realLatency: time.Since(begin),
 			turnaround:  time.Duration(res.TurnaroundNS),
 			waiting:     time.Duration(res.WaitingNS),
@@ -359,6 +366,34 @@ func report(st *stats, wall time.Duration) {
 		percentile(turn, 50).Round(time.Microsecond), percentile(turn, 99).Round(time.Microsecond),
 		time.Duration(sumWait/float64(n)).Round(time.Microsecond))
 	fmt.Printf("ANTT:          %.3f   preemptions=%d\n", sumNTT/float64(n), preempts)
+
+	// Per-shard breakdown when the daemon is a fleet: each device's share
+	// of the completions, its throughput, and its ANTT.
+	perDev := map[int][]sample{}
+	for _, s := range st.samples {
+		perDev[s.device] = append(perDev[s.device], s)
+	}
+	if len(perDev) <= 1 {
+		return
+	}
+	devs := make([]int, 0, len(perDev))
+	for d := range perDev {
+		devs = append(devs, d)
+	}
+	sort.Ints(devs)
+	fmt.Printf("per device:\n")
+	for _, d := range devs {
+		ss := perDev[d]
+		var ntt float64
+		var pre int
+		for _, s := range ss {
+			ntt += s.ntt
+			pre += s.preemptions
+		}
+		fmt.Printf("  device %d:    ok=%d (%4.1f%%)  throughput %.1f launches/s  ANTT %.3f  preemptions=%d\n",
+			d, len(ss), 100*float64(len(ss))/float64(n),
+			float64(len(ss))/wall.Seconds(), ntt/float64(len(ss)), pre)
+	}
 }
 
 // verifyExactlyOnce checks the acceptance invariant against both views:
@@ -366,16 +401,19 @@ func report(st *stats, wall time.Duration) {
 // server-side (enqueued == completed + submit_errors once at rest).
 func verifyExactlyOnce(addr string, st *stats) error {
 	st.mu.Lock()
-	ids := map[int]int{}
+	// Invocation IDs are assigned per device shard, so uniqueness holds on
+	// the (device, id) pair fleet-wide.
+	type devID struct{ device, id int }
+	ids := map[devID]int{}
 	for _, s := range st.samples {
-		ids[s.id]++
+		ids[devID{s.device, s.id}]++
 	}
 	oks := len(st.samples)
 	timeouts := st.timeouts
 	st.mu.Unlock()
-	for id, c := range ids {
+	for k, c := range ids {
 		if c != 1 {
-			return fmt.Errorf("invocation id %d delivered %d times", id, c)
+			return fmt.Errorf("device %d invocation id %d delivered %d times", k.device, k.id, c)
 		}
 	}
 	// Timed-out requests complete asynchronously; poll briefly for rest.

@@ -64,6 +64,27 @@ func NewSystem(par gpu.Params) *System {
 // Offline has processed it.
 func (s *System) Artifacts(name string) *Artifacts { return s.arts[name] }
 
+// Clone returns a system sharing this one's offline artifacts but with its
+// own cache maps, so independent schedulers (e.g. fleet shards, each on
+// its own goroutine) can call Predict/SoloTime concurrently without
+// racing on the plain-map caches. Artifacts are immutable after Offline,
+// so sharing the values is safe; run the offline phase once and Clone per
+// shard instead of paying it N times.
+func (s *System) Clone() *System {
+	c := &System{
+		Par:  s.Par,
+		arts: make(map[string]*Artifacts, len(s.arts)),
+		solo: make(map[soloKey]time.Duration, len(s.solo)),
+	}
+	for k, v := range s.arts {
+		c.arts[k] = v
+	}
+	for k, v := range s.solo {
+		c.solo[k] = v
+	}
+	return c
+}
+
 // Offline runs the complete offline phase for the benchmarks: program
 // transformation, amortizing-factor tuning (threshold 4%), performance
 // model training (100 random inputs), and preemption-overhead profiling

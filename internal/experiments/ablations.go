@@ -55,9 +55,10 @@ func (s *Suite) AblationAmortize() (*Table, error) {
 			return nil, err
 		}
 		ov := (withL - solo).Seconds() / solo.Seconds()
-		// Drain latency model: flag propagation + poll + half a batch.
+		// Drain latency model: flag propagation + poll + the expected
+		// (L-1)/2-task residual of a uniformly-positioned batch.
 		drain := par.FlagPropagation + par.PinnedReadLatency +
-			time.Duration(float64(L+1)/2*float64(in.TaskCost))
+			time.Duration(float64(L-1)/2*float64(in.TaskCost))
 		t.AddRow(L, pct(ov), drain)
 	}
 	t.Note("small L: fast preemption, high polling overhead; large L: the reverse — the tuner picks the smallest L under 4%%")

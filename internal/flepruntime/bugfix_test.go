@@ -1,0 +1,240 @@
+package flepruntime
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+// TestOverheadForMatchesRealizedDrain pins the drain model's residual-batch
+// term against the device: a worker polls the preemption flag once per
+// L-task batch, so a uniformly-positioned drain owes (L-1)/2 tasks on
+// average, not (L+1)/2. Predicted (OverheadFor minus the 2×LaunchLatency
+// relaunch term the realized drain does not include) and realized drain
+// latency must agree within half a task cost — the old off-by-one missed
+// by a full task cost per drain.
+func TestOverheadForMatchesRealizedDrain(t *testing.T) {
+	eng, rt := newInstrumentedRT(NewHPF(), false)
+
+	const L = 20
+	cost := us(100)
+	victim := inv("victim", 1, 12000, cost, L)
+	rt.Submit(victim)
+	predicted := rt.OverheadFor(victim)
+
+	// A strictly higher priority arrival forces a temporal preemption
+	// mid-run; DrainLatency then records the realized flag-to-stop time.
+	eng.Schedule(us(3000), func() { rt.Submit(inv("hi", 5, 1200, cost, L)) })
+	eng.RunUntil(8 * time.Millisecond)
+
+	if n := rt.met.DrainLatency.Count(); n != 1 {
+		t.Fatalf("drains = %d, want exactly 1", n)
+	}
+	realized := time.Duration(rt.met.DrainLatency.Sum() * float64(time.Second))
+	// The estimate budgets stop + relaunch; the drain metric measures only
+	// the stop side.
+	predDrain := predicted - 2*rt.Device().Params().LaunchLatency
+	diff := predDrain - realized
+	if diff < 0 {
+		diff = -diff
+	}
+	if diff >= cost/2 {
+		t.Fatalf("predicted drain %v vs realized %v: off by %v (≥ half a task cost %v — residual-batch term wrong)",
+			predDrain, realized, diff, cost/2)
+	}
+}
+
+// TestHPFEnqueueMatchesStableSort checks the binary-insert Enqueue against
+// the reference ordering: (priority desc, Tr asc), FIFO-stable among equal
+// keys — exactly what the old per-insert sort.SliceStable produced.
+func TestHPFEnqueueMatchesStableSort(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	h := NewHPF()
+	var ref []*Invocation
+	for i := 0; i < 600; i++ {
+		if len(ref) > 0 && rng.Intn(5) == 0 {
+			// Mid-queue removal keeps Dequeue honest too.
+			j := rng.Intn(len(ref))
+			h.Dequeue(ref[j])
+			ref = append(ref[:j], ref[j+1:]...)
+			continue
+		}
+		v := &Invocation{
+			Kernel:   fmt.Sprintf("k%d", i),
+			Priority: rng.Intn(4),
+			Tr:       time.Duration(rng.Intn(5)) * time.Microsecond,
+		}
+		h.Enqueue(v)
+		ref = append(ref, v)
+	}
+	// Insert-after-equals per arrival is equivalent to one stable sort of
+	// the arrival order.
+	want := append([]*Invocation(nil), ref...)
+	sort.SliceStable(want, func(i, j int) bool {
+		if want[i].Priority != want[j].Priority {
+			return want[i].Priority > want[j].Priority
+		}
+		return want[i].Tr < want[j].Tr
+	})
+	got := h.Queued()
+	if len(got) != len(want) {
+		t.Fatalf("queue length %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("queue[%d] = %s (prio %d, Tr %v), want %s (prio %d, Tr %v)",
+				i, got[i].Kernel, got[i].Priority, got[i].Tr,
+				want[i].Kernel, want[i].Priority, want[i].Tr)
+		}
+	}
+}
+
+// queueFill pre-loads a queue with n invocations of mixed keys.
+func queueFill(h *HPF, n int, rng *rand.Rand) []*Invocation {
+	out := make([]*Invocation, 0, n)
+	for i := 0; i < n; i++ {
+		v := &Invocation{
+			Priority: rng.Intn(8),
+			Tr:       time.Duration(rng.Intn(1000)) * time.Microsecond,
+		}
+		h.Enqueue(v)
+		out = append(out, v)
+	}
+	return out
+}
+
+// BenchmarkHPFEnqueueDeep measures one insert into a deep queue with the
+// binary-search implementation.
+func BenchmarkHPFEnqueueDeep(b *testing.B) {
+	for _, depth := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			h := NewHPF()
+			rng := rand.New(rand.NewSource(1))
+			queueFill(h, depth, rng)
+			vs := queueFill(NewHPF(), 1, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Enqueue(vs[0])
+				h.Dequeue(vs[0])
+			}
+		})
+	}
+}
+
+// BenchmarkHPFEnqueueDeepResort is the pre-fix baseline: append plus a
+// full stable re-sort per insert, for comparison against the binary
+// search above.
+func BenchmarkHPFEnqueueDeepResort(b *testing.B) {
+	resort := func(h *HPF, v *Invocation) {
+		h.queue = append(h.queue, v)
+		sort.SliceStable(h.queue, func(i, j int) bool {
+			if h.queue[i].Priority != h.queue[j].Priority {
+				return h.queue[i].Priority > h.queue[j].Priority
+			}
+			return h.queue[i].Tr < h.queue[j].Tr
+		})
+	}
+	for _, depth := range []int{100, 10000} {
+		b.Run(fmt.Sprintf("depth=%d", depth), func(b *testing.B) {
+			h := NewHPF()
+			rng := rand.New(rand.NewSource(1))
+			queueFill(h, depth, rng)
+			vs := queueFill(NewHPF(), 1, rng)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				resort(h, vs[0])
+				h.Dequeue(vs[0])
+			}
+		})
+	}
+}
+
+// TestFFSKernelWeightsScopedPerTenant is the regression test for weight
+// clobbering: two tenants at the same priority level must keep their own
+// share weights, and a departed tenant's weight entry must be evicted with
+// its overhead record.
+func TestFFSKernelWeightsScopedPerTenant(t *testing.T) {
+	ffs := NewFFS(0.10)
+	eng, rt := newInstrumentedRT(ffs, false)
+
+	// Same priority, different requested shares — under the old
+	// priority-keyed map the second write would clobber the first.
+	ffs.SetKernelWeight("a", 2)
+	ffs.SetKernelWeight("b", 5)
+	a := inv("a", 1, 1200, us(100), 2)
+	b := inv("b", 1, 1200, us(100), 2)
+	if w := ffs.weight(a); w != 2 {
+		t.Fatalf("weight(a) = %v, want 2 (clobbered by b's request?)", w)
+	}
+	if w := ffs.weight(b); w != 5 {
+		t.Fatalf("weight(b) = %v, want 5", w)
+	}
+
+	rt.Submit(a)
+	rt.Submit(b)
+	eng.Run()
+
+	if _, ok := ffs.KernelWeight("a"); ok {
+		t.Fatal("departed tenant a's weight entry was not evicted")
+	}
+	if _, ok := ffs.KernelWeight("b"); ok {
+		t.Fatal("departed tenant b's weight entry was not evicted")
+	}
+	if len(ffs.seen) != 0 {
+		t.Fatalf("seen retains %d kernels after all tenants departed", len(ffs.seen))
+	}
+}
+
+// TestGuestCompletesWhilePrimaryDraining covers the Expand(0) reclaim
+// racing a temporal drain: a spatial guest's completion while the primary
+// is draining for a higher-priority arrival triggers onComplete's
+// full-width reclaim against an exec that is no longer running. The
+// relaunch closure must observe the drained state and no-op; every
+// invocation still completes exactly once. Runs under -race in CI.
+func TestGuestCompletesWhilePrimaryDraining(t *testing.T) {
+	eng, rt := newInstrumentedRT(NewHPF(), true)
+
+	// Primary: long-running, large L, so every drain takes ~(L-1)/2 tasks
+	// (~5ms here).
+	primary := inv("primary", 1, 120000, us(100), 100)
+	// Guest: 40 tasks → a 5-SM spatial footprint; one 4ms wave, so it lands
+	// on the yielded SMs ≈6ms and completes ≈10ms.
+	guest := inv("guest", 3, 40, us(4000), 1)
+	// High: full-width arrival at 7ms. With the guest resident the spatial
+	// path is unavailable, so the primary takes a ~5ms temporal drain
+	// spanning [7ms, ~12ms] — the guest's ≈10ms completion lands inside it.
+	high := inv("high", 4, 1200, us(100), 2)
+
+	var done []string
+	var guestSawDrain bool
+	primary.OnFinish = func(*Invocation) { done = append(done, "primary") }
+	high.OnFinish = func(*Invocation) { done = append(done, "high") }
+	guest.OnFinish = func(*Invocation) {
+		done = append(done, "guest")
+		guestSawDrain = rt.draining && rt.running == primary
+	}
+
+	rt.Submit(primary)
+	eng.Schedule(us(1000), func() { rt.Submit(guest) })
+	// The guest needs the primary's spatial drain (~5ms for L=100) before
+	// it starts; land the high-priority arrival while the guest runs, so
+	// the primary's temporal drain overlaps the guest's completion.
+	eng.Schedule(us(7000), func() { rt.Submit(high) })
+	eng.Run()
+
+	if len(done) != 3 {
+		t.Fatalf("completions = %v, want all of primary/guest/high exactly once", done)
+	}
+	if !guestSawDrain {
+		t.Fatalf("guest completed outside the primary's drain window (order %v) — retune arrival times", done)
+	}
+	if rt.Running() != nil || rt.guest != nil || rt.pendingGuest != nil {
+		t.Fatalf("runtime not quiescent: running=%v guest=%v pending=%v",
+			rt.Running(), rt.guest, rt.pendingGuest)
+	}
+	if got := eng.Pending(); got != 0 {
+		t.Fatalf("engine still reports %d pending events at quiescence", got)
+	}
+}

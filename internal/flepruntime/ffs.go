@@ -23,6 +23,12 @@ type FFS struct {
 	// Weights maps priority level to its share weight. Missing levels
 	// weigh their priority value (min 1).
 	Weights map[int]float64
+	// kernelWeights maps a tenant kernel to its requested share weight.
+	// Per-kernel weights take precedence over the priority-level table, so
+	// two tenants at the same priority keep distinct shares instead of
+	// clobbering one slot. Entries are evicted with the kernel's overhead
+	// record when the tenant departs (OnCompletion).
+	kernelWeights map[string]float64
 
 	rt    *Runtime
 	queue []*Invocation
@@ -65,8 +71,30 @@ func (f *FFS) Name() string { return "FFS" }
 // bind gives the policy its runtime (called by Runtime's constructor).
 func (f *FFS) bind(r *Runtime) { f.rt = r }
 
+// SetKernelWeight records a tenant kernel's share weight. It overrides the
+// priority-level Weights table for that kernel and is dropped automatically
+// when the tenant departs.
+func (f *FFS) SetKernelWeight(kernel string, w float64) {
+	if w <= 0 {
+		return
+	}
+	if f.kernelWeights == nil {
+		f.kernelWeights = map[string]float64{}
+	}
+	f.kernelWeights[kernel] = w
+}
+
+// KernelWeight reports the per-kernel share weight, if one is set.
+func (f *FFS) KernelWeight(kernel string) (float64, bool) {
+	w, ok := f.kernelWeights[kernel]
+	return w, ok
+}
+
 // weight returns the share weight of an invocation.
 func (f *FFS) weight(v *Invocation) float64 {
+	if w, ok := f.kernelWeights[v.Kernel]; ok && w > 0 {
+		return w
+	}
 	if w, ok := f.Weights[v.Priority]; ok && w > 0 {
 		return w
 	}
@@ -202,6 +230,7 @@ func (f *FFS) OnCompletion(r *Runtime, v *Invocation) {
 		}
 	}
 	delete(f.seen, v.Kernel)
+	delete(f.kernelWeights, v.Kernel)
 	r.met.Evictions.Inc()
 	if f.curKernel == v.Kernel {
 		// The departed tenant owned the open epoch; close it so the next

@@ -147,7 +147,9 @@ func (r *Runtime) fits(v *Invocation) bool {
 
 // OverheadFor estimates the preemption overhead of the kernel: the
 // configured profile-based estimate if available, otherwise a drain-model
-// bound (flag propagation + poll + half an amortization batch + relaunch).
+// bound (flag propagation + poll + expected residual batch + relaunch).
+// The residual term mirrors gpu.Exec.drainTime: a uniformly-positioned
+// worker owes (L-1)/2 tasks on average before its next flag poll.
 func (r *Runtime) OverheadFor(v *Invocation) time.Duration {
 	if r.cfg.OverheadEstimate != nil {
 		if d := r.cfg.OverheadEstimate(v.Kernel); d > 0 {
@@ -155,7 +157,7 @@ func (r *Runtime) OverheadFor(v *Invocation) time.Duration {
 		}
 	}
 	par := r.dev.Params()
-	batch := time.Duration(float64(v.L+1) / 2 * float64(v.TaskCost))
+	batch := time.Duration(float64(v.L-1) / 2 * float64(v.TaskCost))
 	return par.FlagPropagation + par.PinnedReadLatency + batch + 2*par.LaunchLatency
 }
 
@@ -333,8 +335,11 @@ func (r *Runtime) onComplete(v *Invocation) {
 		r.running = nil
 	}
 	r.log("complete", v.Kernel, fmt.Sprintf("id=%d turnaround=%v Tw=%v", v.ID, v.Turnaround(), v.Tw))
-	if wasGuest && r.running != nil && r.running.exec != nil {
-		// Reclaim the guest's SMs for the shrunk victim.
+	if wasGuest && !r.draining && r.running != nil && r.running.exec != nil {
+		// Reclaim the guest's SMs for the shrunk victim. Skipped while the
+		// primary itself is draining: a temporal drain tears the execution
+		// down (it redispatches at full width later), and a spatial drain
+		// has promised the freed SMs to the pending guest.
 		lo, _ := r.running.exec.SMRange()
 		if lo > 0 {
 			if err := r.running.exec.Expand(0); err == nil {
@@ -418,15 +423,21 @@ func NewHPF() *HPF { return &HPF{OverheadAware: true} }
 func (h *HPF) Name() string { return "HPF" }
 
 // Enqueue inserts keeping the queue sorted by (priority desc, Tr asc), so
-// the head is always the next kernel to schedule.
+// the head is always the next kernel to schedule. A binary search finds the
+// slot in O(log n) and one copy shifts the tail, instead of re-sorting the
+// whole queue per insert. Equal (priority, Tr) keys land after existing
+// entries, preserving the FIFO tie-break sort.SliceStable used to give.
 func (h *HPF) Enqueue(v *Invocation) {
-	h.queue = append(h.queue, v)
-	sort.SliceStable(h.queue, func(i, j int) bool {
-		if h.queue[i].Priority != h.queue[j].Priority {
-			return h.queue[i].Priority > h.queue[j].Priority
+	i := sort.Search(len(h.queue), func(i int) bool {
+		q := h.queue[i]
+		if q.Priority != v.Priority {
+			return q.Priority < v.Priority
 		}
-		return h.queue[i].Tr < h.queue[j].Tr
+		return q.Tr > v.Tr
 	})
+	h.queue = append(h.queue, nil)
+	copy(h.queue[i+1:], h.queue[i:])
+	h.queue[i] = v
 }
 
 // Peek implements Policy.

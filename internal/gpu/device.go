@@ -513,8 +513,11 @@ func (e *Exec) Preempt(yieldSMs int) error {
 }
 
 // drainTime models how long the yielding CTAs keep running after the CPU
-// sets the flag: flag propagation, plus on average half an amortization
-// batch of tasks, plus the final poll.
+// sets the flag: flag propagation, plus the expected residual batch work,
+// plus the final poll. A worker polls the flag once per L-task batch, so
+// at a uniformly-positioned moment it still owes (L-1)/2 whole tasks on
+// average before its next poll (the in-flight task's tail is part of the
+// final PinnedReadLatency poll round, not an extra full task).
 func (e *Exec) drainTime() time.Duration {
 	pressure, mix := e.dev.globalFactors()
 	k := e.cfg.Profile.CTAsPerSM
@@ -523,7 +526,7 @@ func (e *Exec) drainTime() time.Duration {
 		k = (n + (e.smHi - e.smLo) - 1) / (e.smHi - e.smLo)
 	}
 	per := e.perTask(k, pressure, mix)
-	batch := float64(e.cfg.L+1) / 2 * per
+	batch := float64(e.cfg.L-1) / 2 * per
 	return e.dev.par.FlagPropagation + e.dev.par.PinnedReadLatency +
 		time.Duration(batch*float64(time.Second))
 }
@@ -573,6 +576,15 @@ func (e *Exec) Expand(lo int) error {
 	if e.state != StateRunning {
 		return fmt.Errorf("gpu: expanding %s execution", e.state)
 	}
+	if e.draining {
+		// A drain is in flight: the preemption flag is already set, so the
+		// relaunched CTAs would observe it and exit immediately. Worse, the
+		// drain's yield width was computed against the current span, so
+		// growing the range now would turn a full temporal drain into a
+		// partial one and strand the execution as resident. Refuse; the
+		// scheduler redispatches at full width after the drain anyway.
+		return fmt.Errorf("gpu: expanding draining execution")
+	}
 	if lo < 0 || lo >= e.smLo {
 		return fmt.Errorf("gpu: expand to [%d,...) does not grow range [%d,%d)", lo, e.smLo, e.smHi)
 	}
@@ -589,7 +601,10 @@ func (e *Exec) Expand(lo int) error {
 	delay := d.par.LaunchLatency +
 		time.Duration(float64(d.par.ColdRestart)*float64(freed)/float64(d.par.Limits.NumSMs))
 	d.eng.Schedule(delay, func() {
-		if e.state != StateRunning || lo >= e.smLo {
+		// Re-check draining too: a preemption that started while the
+		// relaunch was in flight caps its yield at the pre-expand span, so
+		// applying the expansion now would outlive the drain.
+		if e.state != StateRunning || e.draining || lo >= e.smLo {
 			return
 		}
 		// Re-validate: another execution may have taken the SMs while the

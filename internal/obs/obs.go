@@ -326,11 +326,14 @@ func formatFloat(v float64) string {
 
 // WritePrometheus renders every registered metric in the Prometheus text
 // exposition format (version 0.0.4), grouped by family with one
-// HELP/TYPE header each.
-func (r *Registry) WritePrometheus(w io.Writer) error {
+// HELP/TYPE header each. Optional extra label pairs ("device", "3", ...)
+// are injected into every emitted sample, so several registries can be
+// rendered into one exposition distinguished by a shard label.
+func (r *Registry) WritePrometheus(w io.Writer, extraLabels ...string) error {
 	if r == nil {
 		return nil
 	}
+	extra := innerLabels(renderLabels(extraLabels))
 	r.mu.Lock()
 	metrics := make([]*metric, len(r.metrics))
 	copy(metrics, r.metrics)
@@ -352,16 +355,17 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 			}
 			lastFamily = m.name
 		}
+		labels := mergeLabels(m.labels, extra)
 		var err error
 		switch m.kind {
 		case kindCounter:
-			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, m.labels, m.counter.Value())
+			_, err = fmt.Fprintf(w, "%s%s %d\n", m.name, labels, m.counter.Value())
 		case kindGauge:
-			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatFloat(m.gauge.Value()))
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, labels, formatFloat(m.gauge.Value()))
 		case kindGaugeFunc:
-			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, m.labels, formatFloat(m.gaugeFunc()))
+			_, err = fmt.Fprintf(w, "%s%s %s\n", m.name, labels, formatFloat(m.gaugeFunc()))
 		case kindHistogram:
-			err = writeHistogram(w, m)
+			err = writeHistogram(w, m, labels)
 		}
 		if err != nil {
 			return err
@@ -370,11 +374,28 @@ func (r *Registry) WritePrometheus(w io.Writer) error {
 	return nil
 }
 
-// writeHistogram renders one histogram's bucket/sum/count series.
-func writeHistogram(w io.Writer, m *metric) error {
+// innerLabels strips the braces off a rendered label set.
+func innerLabels(rendered string) string {
+	return strings.TrimSuffix(strings.TrimPrefix(rendered, "{"), "}")
+}
+
+// mergeLabels injects extra (braceless) pairs into a rendered label set.
+func mergeLabels(rendered, extra string) string {
+	if extra == "" {
+		return rendered
+	}
+	if inner := innerLabels(rendered); inner != "" {
+		return "{" + extra + "," + inner + "}"
+	}
+	return "{" + extra + "}"
+}
+
+// writeHistogram renders one histogram's bucket/sum/count series under the
+// already-merged label set.
+func writeHistogram(w io.Writer, m *metric, labels string) error {
 	bounds, cumulative, sum, count := m.hist.snapshot()
 	// Merge the le label into any existing label set.
-	inner := strings.TrimSuffix(strings.TrimPrefix(m.labels, "{"), "}")
+	inner := innerLabels(labels)
 	for i, b := range bounds {
 		ls := fmt.Sprintf(`le="%s"`, formatFloat(b))
 		if inner != "" {
@@ -391,9 +412,9 @@ func writeHistogram(w io.Writer, m *metric) error {
 	if _, err := fmt.Fprintf(w, "%s_bucket{%s} %d\n", m.name, ls, count); err != nil {
 		return err
 	}
-	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", m.name, m.labels, sum); err != nil {
+	if _, err := fmt.Fprintf(w, "%s_sum%s %g\n", m.name, labels, sum); err != nil {
 		return err
 	}
-	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, m.labels, count)
+	_, err := fmt.Fprintf(w, "%s_count%s %d\n", m.name, labels, count)
 	return err
 }

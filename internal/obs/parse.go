@@ -42,6 +42,45 @@ func (s Snapshot) SumFamily(name string) float64 {
 	return total
 }
 
+// SumMatching adds up every sample of the named family whose label set
+// contains all of the given label pairs. SumMatching("x_total", "kind",
+// "primary") sums x_total{kind="primary",...} across any remaining labels
+// (such as a fleet's device label); with no pairs it equals SumFamily.
+func (s Snapshot) SumMatching(name string, labelPairs ...string) float64 {
+	if len(labelPairs)%2 != 0 {
+		panic(fmt.Sprintf("obs: odd label pairs %v", labelPairs))
+	}
+	want := make([]string, 0, len(labelPairs)/2)
+	for i := 0; i+1 < len(labelPairs); i += 2 {
+		want = append(want, fmt.Sprintf("%s=%q", labelPairs[i], labelPairs[i+1]))
+	}
+	total := 0.0
+	for k, v := range s {
+		if k != name && !strings.HasPrefix(k, name+"{") {
+			continue
+		}
+		have := strings.Split(strings.TrimSuffix(strings.TrimPrefix(k[len(name):], "{"), "}"), ",")
+		matched := true
+		for _, w := range want {
+			found := false
+			for _, h := range have {
+				if h == w {
+					found = true
+					break
+				}
+			}
+			if !found {
+				matched = false
+				break
+			}
+		}
+		if matched {
+			total += v
+		}
+	}
+	return total
+}
+
 // Delta returns after − before for the key (missing keys read as 0).
 func Delta(before, after Snapshot, key string) float64 {
 	return after[key] - before[key]

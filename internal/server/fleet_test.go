@@ -1,0 +1,324 @@
+package server
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"sync"
+	"testing"
+	"time"
+)
+
+func newTestFleet(t *testing.T, cfg FleetConfig) (*Fleet, *httptest.Server) {
+	t.Helper()
+	if len(cfg.Benchmarks) == 0 {
+		cfg.Benchmarks = []string{"VA", "MM"}
+	}
+	f, err := NewFleetWithSystem(testSystem(t), cfg)
+	if err != nil {
+		t.Fatalf("NewFleetWithSystem: %v", err)
+	}
+	ts := httptest.NewServer(f.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := f.Shutdown(ctx); err != nil {
+			t.Errorf("fleet shutdown: %v", err)
+		}
+	})
+	return f, ts
+}
+
+// TestFleetSpreadsLoadAcrossShards checks the placement router: with
+// affinity off and all shards parked, successive launches must land on
+// successively less-loaded shards — an even spread — rather than piling
+// onto shard 0.
+func TestFleetSpreadsLoadAcrossShards(t *testing.T) {
+	const devices = 4
+	f, ts := newTestFleet(t, FleetConfig{Devices: devices})
+	if err := f.Pause(); err != nil {
+		t.Fatal(err)
+	}
+
+	results := make(chan LaunchResult, 2*devices)
+	for i := 0; i < 2*devices; i++ {
+		i := i
+		go func() {
+			_, res := launch(t, ts.URL, LaunchRequest{
+				Client: fmt.Sprintf("c%d", i), Benchmark: "VA", Class: "small",
+			})
+			results <- res
+		}()
+		// Wait until this launch is visibly queued before firing the next,
+		// so every placement sees the previous one's load.
+		waitFor(t, "launch queued", func() bool {
+			return getStatus(t, ts.URL).QueueLen == i+1
+		})
+	}
+
+	st := getStatus(t, ts.URL)
+	if len(st.Devices) != devices {
+		t.Fatalf("status lists %d devices, want %d", len(st.Devices), devices)
+	}
+	for i, d := range st.Devices {
+		if d.Device != i {
+			t.Fatalf("devices[%d] carries index %d", i, d.Device)
+		}
+		if d.QueueLen != 2 {
+			t.Fatalf("shard %d queued %d launches, want 2 (router did not spread)", i, d.QueueLen)
+		}
+	}
+
+	if err := f.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	perDev := map[int]int{}
+	for i := 0; i < 2*devices; i++ {
+		res := <-results
+		if res.Err != "" {
+			t.Fatalf("launch failed: %+v", res)
+		}
+		perDev[res.Device]++
+	}
+	for i := 0; i < devices; i++ {
+		if perDev[i] != 2 {
+			t.Fatalf("device %d executed %d launches, want 2 (spread %v)", i, perDev[i], perDev)
+		}
+	}
+}
+
+// TestFleetSessionAffinityPinsClients checks that with affinity on, a
+// client's first placement sticks: later launches go to the same shard
+// even when other shards are idle.
+func TestFleetSessionAffinityPinsClients(t *testing.T) {
+	f, ts := newTestFleet(t, FleetConfig{Devices: 2, Affinity: true})
+	if err := f.Pause(); err != nil {
+		t.Fatal(err)
+	}
+
+	// alice pins to shard 0 (idle tie → lowest index); bob then sees
+	// alice's queued launch and pins to shard 1.
+	results := make(chan LaunchResult, 3)
+	for i, client := range []string{"alice", "bob"} {
+		client := client
+		go func() {
+			_, res := launch(t, ts.URL, LaunchRequest{Client: client, Benchmark: "VA"})
+			results <- res
+		}()
+		waitFor(t, client+" queued", func() bool {
+			return getStatus(t, ts.URL).QueueLen == i+1
+		})
+	}
+	if i, ok := f.AffinityFor("alice"); !ok || i != 0 {
+		t.Fatalf("alice pinned to %d (ok=%v), want 0", i, ok)
+	}
+	if i, ok := f.AffinityFor("bob"); !ok || i != 1 {
+		t.Fatalf("bob pinned to %d (ok=%v), want 1", i, ok)
+	}
+
+	if err := f.Resume(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if res := <-results; res.Err != "" {
+			t.Fatalf("launch failed: %+v", res)
+		}
+	}
+
+	// Shard 1 is now idle, but alice must still land on her pinned shard 0.
+	_, res := launch(t, ts.URL, LaunchRequest{Client: "alice", Benchmark: "MM"})
+	if res.Err != "" || res.Device != 0 {
+		t.Fatalf("alice's follow-up ran on device %d (%+v), want pinned 0", res.Device, res)
+	}
+
+	// The merged session view attributes each client to exactly one shard.
+	resp, err := http.Get(ts.URL + "/v1/sessions")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var sessions []SessionSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&sessions); err != nil {
+		t.Fatal(err)
+	}
+	if len(sessions) != 2 {
+		t.Fatalf("sessions: %+v", sessions)
+	}
+	for _, snap := range sessions {
+		if len(snap.Devices) != 1 {
+			t.Fatalf("session %s touched devices %v, want exactly one under affinity", snap.ID, snap.Devices)
+		}
+	}
+}
+
+// TestFleetMetricsReconcileWithStatus drives load across 4 shards and
+// checks the exposition end to end: every sample carries a device label,
+// per-device launch counters match that shard's /v1/status numbers, and
+// the device sums match the fleet aggregate exactly.
+func TestFleetMetricsReconcileWithStatus(t *testing.T) {
+	const devices = 4
+	_, ts := newTestFleet(t, FleetConfig{Devices: devices})
+
+	var wg sync.WaitGroup
+	for i := 0; i < 12; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			bench := []string{"VA", "MM"}[i%2]
+			_, res := launch(t, ts.URL, LaunchRequest{
+				Client: fmt.Sprintf("c%d", i%3), Benchmark: bench, Priority: 1 + i%2,
+			})
+			if res.Err != "" {
+				t.Errorf("launch %d: %+v", i, res)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+	waitFor(t, "fleet at rest", func() bool {
+		st := getStatus(t, ts.URL)
+		return st.Counters.Completed+st.Counters.SubmitErrors == st.Counters.Enqueued
+	})
+
+	st := getStatus(t, ts.URL)
+	snap := scrape(t, ts.URL)
+	var sumEnq, sumDone float64
+	for i := 0; i < devices; i++ {
+		dev := strconv.Itoa(i)
+		enq := snap.SumMatching("flep_server_launches_total", "device", dev, "outcome", "enqueued")
+		done := snap.SumMatching("flep_server_launches_total", "device", dev, "outcome", "completed")
+		ds := st.Devices[i]
+		if int64(enq) != ds.Counters.Enqueued || int64(done) != ds.Counters.Completed {
+			t.Fatalf("device %d: metrics (enq=%v done=%v) != status %+v", i, enq, done, ds.Counters)
+		}
+		sumEnq += enq
+		sumDone += done
+	}
+	if int64(sumEnq) != st.Counters.Enqueued || int64(sumDone) != st.Counters.Completed {
+		t.Fatalf("device sums (enq=%v done=%v) != aggregate %+v", sumEnq, sumDone, st.Counters)
+	}
+	if st.Counters.Completed != 12 {
+		t.Fatalf("completed = %d, want 12", st.Counters.Completed)
+	}
+	// The runtime families aggregate the same way: every shard dispatched
+	// what it completed.
+	if disp := snap.SumMatching("flep_runtime_dispatches_total"); disp < 12 {
+		t.Fatalf("runtime dispatches across devices = %v, want >= 12", disp)
+	}
+}
+
+// TestFleetEndToEndDrainExactlyOnce is the fleet e2e: 4 shards, a burst of
+// concurrent clients, a drain racing the tail of the load, and fleet-wide
+// exactly-once accounting at rest. Every accepted launch must deliver
+// exactly one result — (device, id) identifies an invocation fleet-wide,
+// since each shard numbers its own — and the summed counters must balance.
+// CI runs this under -race.
+func TestFleetEndToEndDrainExactlyOnce(t *testing.T) {
+	const devices = 4
+	const clients = 24
+	const perClient = 3
+	f, ts := newTestFleet(t, FleetConfig{
+		Config:  Config{QueueDepth: 64, RequestTimeout: time.Minute, Trace: true},
+		Devices: devices,
+	})
+	ts.Config.SetKeepAlivesEnabled(false)
+
+	type devID struct{ device, id int }
+	var mu sync.Mutex
+	seen := map[devID]int{}
+	var accepted, rejected int
+
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			client := fmt.Sprintf("c%03d", c)
+			for i := 0; i < perClient; i++ {
+				code, res := launch(t, ts.URL, LaunchRequest{
+					Client:    client,
+					Benchmark: []string{"VA", "MM"}[(c+i)%2],
+					Priority:  1 + (c+i)%2,
+				})
+				switch code {
+				case http.StatusOK:
+					mu.Lock()
+					seen[devID{res.Device, res.ID}]++
+					accepted++
+					mu.Unlock()
+				case http.StatusServiceUnavailable:
+					// Landed after the drain began.
+					mu.Lock()
+					rejected++
+					mu.Unlock()
+					return
+				default:
+					t.Errorf("%s: code %d (%+v)", client, code, res)
+					return
+				}
+			}
+		}(c)
+	}
+
+	// Start the drain while the burst is in flight: accepted launches must
+	// still run to completion; late arrivals get 503.
+	waitFor(t, "some launches accepted", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return accepted >= clients
+	})
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := f.Shutdown(ctx); err != nil {
+		t.Fatalf("fleet shutdown: %v", err)
+	}
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	for id, n := range seen {
+		if n != 1 {
+			t.Fatalf("invocation %+v delivered %d results", id, n)
+		}
+	}
+	c := f.Counters()
+	if c["completed"]+c["submit_errors"] != c["enqueued"] {
+		t.Fatalf("fleet exactly-once violated at rest: %v", c)
+	}
+	if c["completed"] != int64(accepted) {
+		t.Fatalf("fleet completed %d != client-observed %d (rejected %d)", c["completed"], accepted, rejected)
+	}
+	for i := 0; i < devices; i++ {
+		sc := f.Shard(i).Counters()
+		if sc["completed"]+sc["submit_errors"] != sc["enqueued"] {
+			t.Fatalf("device %d exactly-once violated: %v", i, sc)
+		}
+	}
+
+	// The merged trace is time-ordered and device-stamped.
+	entries := f.TraceEntries("")
+	if len(entries) == 0 {
+		t.Fatal("fleet trace is empty")
+	}
+	for i, e := range entries {
+		if e.Device < 0 || e.Device >= devices {
+			t.Fatalf("trace entry %d carries device %d", i, e.Device)
+		}
+		if i > 0 && e.Time < entries[i-1].Time {
+			t.Fatalf("trace entry %d out of order: %v after %v", i, e.Time, entries[i-1].Time)
+		}
+	}
+
+	// Post-drain launches are refused.
+	code, _ := launch(t, ts.URL, LaunchRequest{Benchmark: "VA"})
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("post-drain launch code = %d, want 503", code)
+	}
+}

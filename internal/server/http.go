@@ -38,10 +38,14 @@ type LaunchRequest struct {
 	TimeoutMS int `json:"timeout_ms,omitempty"`
 }
 
-// Status is the JSON body of GET /v1/status.
+// Status is the JSON body of GET /v1/status. On a fleet daemon the
+// top-level Status carries the aggregated counters and queue figures, with
+// per-shard breakdowns under Devices.
 type Status struct {
 	Policy        string   `json:"policy"`
 	Spatial       bool     `json:"spatial"`
+	Device        int      `json:"device"`
+	Devices       []Status `json:"devices,omitempty"`
 	Benchmarks    []string `json:"benchmarks"`
 	UptimeMS      int64    `json:"uptime_ms"`
 	VirtualNowUS  float64  `json:"virtual_now_us"`
@@ -83,13 +87,13 @@ func (s *Server) Handler() http.Handler {
 	return mux
 }
 
-func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+// decodeLaunch parses the request body and resolves the client identity
+// (X-Flep-Client header over body field over "anonymous").
+func decodeLaunch(w http.ResponseWriter, r *http.Request) (LaunchRequest, string, error) {
 	var req LaunchRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	if err := dec.Decode(&req); err != nil {
-		s.countInvalid("")
-		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
-		return
+		return LaunchRequest{}, "", err
 	}
 	client := r.Header.Get("X-Flep-Client")
 	if client == "" {
@@ -98,6 +102,24 @@ func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
 	if client == "" {
 		client = "anonymous"
 	}
+	return req, client, nil
+}
+
+func (s *Server) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	req, client, err := decodeLaunch(w, r)
+	if err != nil {
+		s.countInvalid("")
+		writeJSON(w, http.StatusBadRequest, apiError{"bad request body: " + err.Error()})
+		return
+	}
+	s.serveLaunch(w, r, req, client)
+}
+
+// serveLaunch validates, admits, and awaits one parsed launch on this
+// shard. The fleet router calls it directly after placement, so every
+// outcome — including validation rejects — is accounted on the shard that
+// handled it.
+func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchRequest, client string) {
 	bench, ok := s.benches[req.Benchmark]
 	if !ok {
 		s.countInvalid(client)
@@ -197,7 +219,9 @@ func (s *Server) countInvalid(client string) {
 	s.mu.Unlock()
 }
 
-func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+// statusSnapshot assembles the shard's live status (the fleet aggregates
+// these across devices).
+func (s *Server) statusSnapshot() Status {
 	names := make([]string, 0, len(s.info))
 	for _, bi := range s.info {
 		names = append(names, bi.Name)
@@ -206,6 +230,7 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	st := Status{
 		Policy:       s.cfg.Policy,
 		Spatial:      s.cfg.Spatial,
+		Device:       s.cfg.Device,
 		Benchmarks:   names,
 		UptimeMS:     time.Since(s.startReal).Milliseconds(),
 		VirtualNowUS: float64(s.vnow.Load()) / 1e3,
@@ -224,7 +249,11 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		st.TraceEntries = s.tlog.Len()
 		st.TraceDropped = s.tlog.Dropped()
 	}
-	writeJSON(w, http.StatusOK, st)
+	return st
+}
+
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.statusSnapshot())
 }
 
 func (s *Server) handleSessions(w http.ResponseWriter, r *http.Request) {

@@ -34,6 +34,9 @@ type LaunchResult struct {
 	Kernel   string `json:"kernel"`
 	Class    string `json:"class"`
 	Priority int    `json:"priority"`
+	// Device is the fleet shard that executed the invocation (0 on a
+	// single-device daemon).
+	Device int `json:"device"`
 	// Virtual-clock timings (the simulation's currency).
 	SubmittedVirtualNS int64 `json:"submitted_virtual_ns"`
 	FinishedVirtualNS  int64 `json:"finished_virtual_ns"`
@@ -117,6 +120,12 @@ func (s *Server) loop() {
 		s.paused.Store(false)
 	}
 
+	// paceDebt is the unserved remainder of the current pace interval: a
+	// pause arriving mid-sleep parks the loop, and the owed balance is
+	// slept off after Resume instead of being forgotten (which would let a
+	// pause/resume storm advance virtual time faster than the pace floor).
+	var paceDebt time.Duration
+
 	for {
 		// Absorb everything already pending, without blocking.
 	absorb:
@@ -145,10 +154,18 @@ func (s *Server) loop() {
 			continue
 		}
 
+		if paceDebt > 0 {
+			paceDebt = s.sleepAbsorb(paceDebt, &paused, &draining, &stop)
+			if paceDebt > 0 {
+				continue // paused again mid-interval; settle after Resume
+			}
+		}
+
 		if s.eng.Step() {
 			s.vnow.Store(int64(s.eng.Now()))
+			s.steps.Add(1)
 			if s.cfg.Pace > 0 {
-				s.sleepAbsorb(s.cfg.Pace, &paused, &draining, &stop)
+				paceDebt = s.sleepAbsorb(s.cfg.Pace, &paused, &draining, &stop)
 			}
 			continue
 		}
@@ -170,27 +187,38 @@ func (s *Server) loop() {
 
 // sleepAbsorb waits out one pace interval while still admitting arrivals
 // and control messages, so paced operation keeps the admission latency
-// low.
-func (s *Server) sleepAbsorb(d time.Duration, paused, draining *bool, stop *<-chan struct{}) {
+// low. Control messages that leave the loop running (Resume, a redundant
+// ctrl) are drained without abandoning the interval: the single timer
+// keeps ticking toward the original deadline. A Pause parks the loop
+// promptly and the unserved remainder is returned so the caller can
+// settle the debt after Resume; a timer expiry or a Shutdown returns 0
+// (drain runs the remaining work without further pacing of this
+// interval).
+func (s *Server) sleepAbsorb(d time.Duration, paused, draining *bool, stop *<-chan struct{}) time.Duration {
+	deadline := time.Now().Add(d)
 	timer := time.NewTimer(d)
 	defer timer.Stop()
 	for {
 		select {
 		case <-timer.C:
-			return
+			return 0
 		case q := <-s.submitCh:
 			s.admit(q)
 		case m := <-s.ctrlCh:
 			*paused = s.handleCtrl(m, *paused, *draining)
 			if *paused {
-				return // park promptly; the loop handles the rest
+				// Park promptly; the loop owes the rest of the interval.
+				if rem := time.Until(deadline); rem > 0 {
+					return rem
+				}
+				return 0
 			}
 		case <-*stop:
 			*draining = true
 			*stop = nil
 			*paused = false
 			s.paused.Store(false)
-			return
+			return 0
 		}
 	}
 }
@@ -222,7 +250,12 @@ func (s *Server) admit(q *launchReq) {
 	}
 	te, _ := s.sys.Predict(q.bench, in)
 	if s.ffs != nil && q.weight > 0 {
-		s.ffs.Weights[q.priority] = q.weight
+		// Scope the requested share weight to this tenant's kernel: keying
+		// by priority level would let two tenants at the same priority
+		// clobber each other's share, and a departed tenant's weight would
+		// linger forever. The per-kernel entry is evicted with the kernel's
+		// overhead record when the tenant departs (FFS.OnCompletion).
+		s.ffs.SetKernelWeight(q.bench.Name, q.weight)
 	}
 	v := &flepruntime.Invocation{
 		Kernel:   q.bench.Name,
@@ -247,7 +280,7 @@ func (s *Server) admit(q *launchReq) {
 		s.mu.Unlock()
 		q.done <- LaunchResult{
 			Client: q.client, Kernel: q.bench.Name, Class: q.class.String(),
-			Priority: q.priority, Err: err.Error(),
+			Priority: q.priority, Device: s.cfg.Device, Err: err.Error(),
 		}
 		return
 	}
@@ -263,6 +296,7 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 		ID:     fv.ID,
 		Client: q.client, Kernel: fv.Kernel, Class: q.class.String(),
 		Priority:           fv.Priority,
+		Device:             s.cfg.Device,
 		SubmittedVirtualNS: int64(fv.SubmittedAt()),
 		FinishedVirtualNS:  int64(fv.FinishedAt()),
 		TurnaroundNS:       int64(fv.Turnaround()),

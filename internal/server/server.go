@@ -66,6 +66,10 @@ type Config struct {
 	// clients can genuinely race the simulation (default 0: run the
 	// simulator as fast as the host allows).
 	Pace time.Duration
+	// Device is this instance's shard index within a fleet (0 for a
+	// standalone daemon). It is stamped onto launch results so clients can
+	// attribute work to a device.
+	Device int
 	// Logf, when set, receives startup progress lines.
 	Logf func(format string, args ...any)
 	// Params overrides the device model (zero value = the paper's K40).
@@ -130,6 +134,7 @@ type Server struct {
 	sys     *core.System
 	eng     *sim.Engine
 	dev     *gpu.Device
+	devMet  *gpu.DeviceMetrics // atomic instruments, readable cross-goroutine
 	rt      *flepruntime.Runtime
 	ffs     *flepruntime.FFS // non-nil iff cfg.Policy == "ffs"
 	tlog    *trace.Log       // nil unless cfg.Trace
@@ -151,6 +156,7 @@ type Server struct {
 
 	vnow   atomic.Int64 // last observed virtual clock (ns)
 	paused atomic.Bool
+	steps  atomic.Int64 // simulation events stepped by the loop
 
 	mu        sync.Mutex
 	startReal time.Time
@@ -245,7 +251,8 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 	s.met = newServerMetrics(s.reg, s)
 	s.eng = sim.New()
 	s.dev = gpu.New(s.eng, cfg.Params)
-	s.dev.Instrument(gpu.NewDeviceMetrics(s.reg))
+	s.devMet = gpu.NewDeviceMetrics(s.reg)
+	s.dev.Instrument(s.devMet)
 	if cfg.Trace {
 		s.tlog = &trace.Log{Limit: cfg.TraceLimit}
 		s.dev.Observer = s.tlog.DeviceObserver()
@@ -312,6 +319,36 @@ func (s *Server) Draining() bool {
 
 // VirtualNow returns the last observed virtual-clock reading.
 func (s *Server) VirtualNow() time.Duration { return time.Duration(s.vnow.Load()) }
+
+// Steps returns how many simulation events the loop has stepped. Under a
+// positive Pace, each step costs at least one pace interval of wall time,
+// even across pause/resume cycles.
+func (s *Server) Steps() int64 { return s.steps.Load() }
+
+// Load reports the shard's placement-scoring inputs: launches waiting in
+// the admission queue plus launches admitted but not yet terminal. Both
+// reads are safe from any goroutine.
+func (s *Server) Load() int64 {
+	s.mu.Lock()
+	inFlight := s.c.Enqueued - s.c.Completed - s.c.SubmitErrors
+	s.mu.Unlock()
+	return int64(len(s.submitCh)) + inFlight
+}
+
+// MemoryAvailable estimates the shard's unreserved device memory from the
+// atomically-updated device gauge (the loop goroutine owns the device
+// itself). Zero-capacity devices report MaxInt64 (admission never blocks
+// on memory).
+func (s *Server) MemoryAvailable() int64 {
+	if s.cfg.Params.MemoryBytes <= 0 {
+		return int64(^uint64(0) >> 1)
+	}
+	free := s.cfg.Params.MemoryBytes - int64(s.devMet.MemoryReserved.Value())
+	if free < 0 {
+		return 0
+	}
+	return free
+}
 
 // TraceLog returns the daemon's event log (nil unless Config.Trace).
 func (s *Server) TraceLog() *trace.Log { return s.tlog }

@@ -42,7 +42,13 @@ func (sess *Session) noteCompletion(res LaunchResult) {
 // asking the loop, so it reports the conservative S2); an idle client is
 // executing CPU code (S1).
 func (sess *Session) hostState() string {
-	if sess.Launches > sess.Completed+sess.SubmitErrors {
+	return hostStateFor(sess.Launches, sess.Completed, sess.SubmitErrors)
+}
+
+// hostStateFor derives the Figure 5 host state from launch accounting
+// (shared with the fleet's cross-shard session merge).
+func hostStateFor(launches, completed, submitErrors int64) string {
+	if launches > completed+submitErrors {
 		return "S2/S3 (awaiting schedule or GPU)"
 	}
 	return "S1 (cpu)"
@@ -50,19 +56,22 @@ func (sess *Session) hostState() string {
 
 // SessionSnapshot is the JSON view of a session for /v1/sessions.
 type SessionSnapshot struct {
-	ID            string  `json:"id"`
-	FirstSeenUnix int64   `json:"first_seen_unix_ms"`
-	HostState     string  `json:"host_state"`
-	Launches      int64   `json:"launches"`
-	InFlight      int64   `json:"in_flight"`
-	Completed     int64   `json:"completed"`
-	SubmitErrors  int64   `json:"submit_errors"`
-	RejectedFull  int64   `json:"rejected_queue_full"`
-	TimedOut      int64   `json:"timed_out"`
-	Preemptions   int64   `json:"preemptions"`
-	MeanTurnUS    float64 `json:"mean_turnaround_us"`
-	MeanWaitUS    float64 `json:"mean_waiting_us"`
-	LastFinishUS  float64 `json:"last_finish_virtual_us"`
+	ID            string `json:"id"`
+	FirstSeenUnix int64  `json:"first_seen_unix_ms"`
+	HostState     string `json:"host_state"`
+	// Devices lists the fleet shards this client's launches ran on (empty
+	// on a standalone daemon; one entry under session affinity).
+	Devices      []int   `json:"devices,omitempty"`
+	Launches     int64   `json:"launches"`
+	InFlight     int64   `json:"in_flight"`
+	Completed    int64   `json:"completed"`
+	SubmitErrors int64   `json:"submit_errors"`
+	RejectedFull int64   `json:"rejected_queue_full"`
+	TimedOut     int64   `json:"timed_out"`
+	Preemptions  int64   `json:"preemptions"`
+	MeanTurnUS   float64 `json:"mean_turnaround_us"`
+	MeanWaitUS   float64 `json:"mean_waiting_us"`
+	LastFinishUS float64 `json:"last_finish_virtual_us"`
 }
 
 // session returns the client's session, creating it on first use.

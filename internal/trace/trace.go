@@ -25,6 +25,9 @@ type Entry struct {
 	SMLo   int           `json:"sm_lo"`
 	SMHi   int           `json:"sm_hi"`
 	Detail string        `json:"detail,omitempty"`
+	// Device is the fleet shard the entry came from; 0 for a standalone
+	// runtime. Set by the aggregation layer, not by the recorder.
+	Device int `json:"device"`
 }
 
 // Log collects entries in time order (the simulator is single-threaded, so
