@@ -11,6 +11,7 @@
 //
 //	flepd -addr :7450 -policy hpf -spatial -bench VA,MM,SPMV -trace
 //	flepd -devices 4 -bench VA,MM     # four-shard fleet
+//	flepd -record run.trace           # capture admissions for flepreplay
 //
 // Endpoints:
 //
@@ -43,13 +44,14 @@ import (
 	"syscall"
 	"time"
 
+	"flep/internal/replay"
 	"flep/internal/server"
 )
 
 func main() {
 	var (
 		addr         = flag.String("addr", ":7450", "listen address")
-		policy       = flag.String("policy", "hpf", "scheduling policy: hpf, hpf-naive, or ffs")
+		policy       = flag.String("policy", "hpf", "scheduling policy: hpf, hpf-naive, ffs, or fifo")
 		spatial      = flag.Bool("spatial", false, "enable spatial preemption (HPF only)")
 		spatialSMs   = flag.Int("spatial-sms", 0, "override yielded SM count for spatial preemption")
 		maxOverhead  = flag.Float64("max-overhead", 0.10, "FFS overhead budget")
@@ -63,6 +65,8 @@ func main() {
 		drainTimeout = flag.Duration("drain-timeout", 60*time.Second, "graceful-shutdown drain bound")
 		devices      = flag.Int("devices", 1, "number of device shards in the fleet")
 		affinity     = flag.Bool("affinity", true, "pin each client to the shard of its first launch")
+		recordPath   = flag.String("record", "", "append every admitted launch to a replay trace (JSONL) at this path")
+		recordRotate = flag.Int64("record-rotate", 0, "rotate the trace once a segment exceeds this many bytes (0 = never)")
 	)
 	flag.Parse()
 
@@ -87,6 +91,16 @@ func main() {
 		},
 		Devices:  *devices,
 		Affinity: *affinity,
+	}
+	var recorder *replay.Recorder
+	if *recordPath != "" {
+		recorder, err = replay.NewRecorder(*recordPath, cfg.Config.RecorderHeader(*devices),
+			replay.RecorderOptions{RotateBytes: *recordRotate})
+		if err != nil {
+			log.Fatalf("flepd: %v", err)
+		}
+		cfg.Config.Recorder = recorder
+		log.Printf("flepd: recording admitted launches to %s", *recordPath)
 	}
 
 	log.Printf("flepd: building offline artifacts (policy=%s spatial=%v devices=%d)",
@@ -135,6 +149,13 @@ func main() {
 		if sc["completed"]+sc["submit_errors"] != sc["enqueued"] {
 			log.Fatalf("flepd: device %d exactly-once invariant violated at exit", i)
 		}
+	}
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			log.Printf("flepd: closing trace: %v", err)
+		}
+		log.Printf("flepd: trace %s: %d launches recorded (replay with: flepreplay replay -trace %s)",
+			recorder.Path(), recorder.Seq(), recorder.Path())
 	}
 }
 

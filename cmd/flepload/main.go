@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"flep/internal/obs"
+	"flep/internal/replay"
 )
 
 // launchRequest mirrors server.LaunchRequest (flepload speaks only the
@@ -106,6 +107,7 @@ func main() {
 		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request completion wait")
 		seed     = flag.Int64("seed", 1, "workload-mix random seed")
 		maxRetry = flag.Int("max-retries", 200, "max 429 retries per launch")
+		record   = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
 	)
 	flag.Parse()
 
@@ -133,6 +135,19 @@ func main() {
 
 	httpc := &http.Client{Timeout: *timeout + 10*time.Second}
 	st := &stats{}
+	var recorder *replay.Recorder
+	if *record != "" {
+		sorted := append([]string(nil), benches...)
+		sort.Strings(sorted)
+		recorder, err = replay.NewRecorder(*record, replay.Header{
+			Source:     replay.SourceFlepload,
+			Benchmarks: sorted,
+			Seed:       *seed,
+		}, replay.RecorderOptions{})
+		if err != nil {
+			fatalf("%v", err)
+		}
+	}
 	before, merr := scrapeMetrics(*addr)
 	if merr != nil {
 		fmt.Printf("flepload: no /metrics before run (%v); deltas disabled\n", merr)
@@ -149,11 +164,19 @@ func main() {
 				n: *perC, rate: *rate, timeout: *timeout,
 				maxRetry: *maxRetry,
 				rng:      rand.New(rand.NewSource(*seed + int64(c))),
+				rec:      recorder, runStart: start,
 			})
 		}(c)
 	}
 	wg.Wait()
 	wall := time.Since(start)
+	if recorder != nil {
+		if err := recorder.Close(); err != nil {
+			fmt.Printf("flepload: closing trace: %v\n", err)
+		} else {
+			fmt.Printf("flepload: recorded %d launches to %s\n", recorder.Seq(), recorder.Path())
+		}
+	}
 
 	report(st, wall)
 	if err := verifyExactlyOnce(*addr, st); err != nil {
@@ -249,6 +272,8 @@ type clientConfig struct {
 	timeout  time.Duration
 	maxRetry int
 	rng      *rand.Rand
+	rec      *replay.Recorder // nil unless -record
+	runStart time.Time        // shared zero point for trace arrival offsets
 }
 
 func runClient(httpc *http.Client, st *stats, cc clientConfig) {
@@ -314,6 +339,20 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 			preemptions: res.Preemptions,
 		}
 		st.note(func() { st.samples = append(st.samples, s) })
+		if cc.rec != nil {
+			// Client-side traces record real arrival offsets (the daemon's
+			// virtual clock is not visible here), so they replay in timed
+			// mode only; Step stays zero.
+			cc.rec.Record(replay.Record{
+				At:       begin.Sub(cc.runStart).Nanoseconds(),
+				Device:   res.Device,
+				Client:   cc.id,
+				Bench:    req.Benchmark,
+				Class:    req.Class,
+				Priority: req.Priority,
+				Weight:   req.Weight,
+			})
+		}
 		return
 	}
 }

@@ -1,0 +1,304 @@
+// Command flepreplay records, replays, and compares FLEP scheduling
+// traces offline. A trace is the admitted-launch stream of a live flepd
+// run (flepd -record / flepload -record) or a synthesized multi-tenant
+// mix; the replayer re-drives it through a fresh simulated fleet, and
+// the what-if advisor fans it across a configuration matrix to rank
+// policies, device counts, amortizing factors, and spatial splits.
+//
+// Usage:
+//
+//	flepreplay record -o mix.trace -seed 7
+//	flepreplay record -o mix.trace -mix "hi:VA:small:2::40ms:60,lo:CFD:large:1::300ms:12"
+//	flepreplay replay -trace run.trace
+//	flepreplay replay -trace run.trace -policy ffs -devices 2 -json
+//	flepreplay replay -trace run.trace -save-models models.json
+//	flepreplay whatif -trace mix.trace -policies hpf,ffs,fifo -L 0,4,16
+//
+// Determinism contract: the same trace, configuration, and seed always
+// produce byte-identical JSON summaries (see DESIGN.md §10).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"flep/internal/replay"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("flepreplay: ")
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "record":
+		err = cmdRecord(os.Args[2:])
+	case "replay":
+		err = cmdReplay(os.Args[2:])
+	case "whatif":
+		err = cmdWhatIf(os.Args[2:])
+	case "-h", "-help", "--help", "help":
+		usage()
+		return
+	default:
+		usage()
+		log.Fatalf("unknown subcommand %q", os.Args[1])
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+}
+
+func usage() {
+	fmt.Fprintf(os.Stderr, `usage: flepreplay <subcommand> [flags]
+
+subcommands:
+  record   synthesize a deterministic multi-tenant trace (no daemon needed)
+  replay   re-drive a trace through a fresh simulated fleet and summarize
+  whatif   fan a trace across a config matrix and rank the outcomes
+
+run "flepreplay <subcommand> -h" for per-subcommand flags
+`)
+}
+
+// cmdRecord synthesizes an open-loop multi-tenant trace. Live traces
+// come from flepd -record (daemon-side, step-exact) or flepload -record
+// (client-side, timed); this subcommand covers the no-daemon path.
+func cmdRecord(args []string) error {
+	fs := flag.NewFlagSet("record", flag.ExitOnError)
+	var (
+		out  = fs.String("o", "mix.trace", "output trace path")
+		mix  = fs.String("mix", "", "tenant specs CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT, comma-separated (empty = two-tenant demo)")
+		seed = fs.Int64("seed", 1, "arrival-jitter seed")
+	)
+	fs.Parse(args)
+
+	tenants, err := parseMixSpecs(*mix)
+	if err != nil {
+		return err
+	}
+	if len(tenants) == 0 {
+		// The demo mix pairs a latency-critical tenant (frequent small VA
+		// launches at high priority) with a batch tenant (sparse large CFD
+		// launches at low priority) — the contention pattern the paper's
+		// HPF-vs-FFS comparison is about.
+		tenants = []replay.MixTenant{
+			{Client: "latency", Bench: "VA", Class: "small", Priority: 2, Period: 2 * time.Millisecond, Count: 60},
+			{Client: "batch", Bench: "CFD", Class: "large", Priority: 1, Period: 8 * time.Millisecond, Count: 15},
+		}
+	}
+	t, err := replay.SynthesizeMix(tenants, *seed)
+	if err != nil {
+		return err
+	}
+	if err := t.WriteFile(*out); err != nil {
+		return err
+	}
+	fmt.Printf("flepreplay: wrote %d records (%d tenants, seed %d) to %s\n",
+		len(t.Records), len(tenants), *seed, *out)
+	return nil
+}
+
+// parseMixSpecs parses "client:bench:class:prio[:weight]:period:count".
+func parseMixSpecs(s string) ([]replay.MixTenant, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []replay.MixTenant
+	for _, spec := range strings.Split(s, ",") {
+		f := strings.Split(strings.TrimSpace(spec), ":")
+		if len(f) != 6 && len(f) != 7 {
+			return nil, fmt.Errorf("bad mix spec %q (want CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT)", spec)
+		}
+		ten := replay.MixTenant{Client: f[0], Bench: f[1], Class: f[2]}
+		prio, err := strconv.Atoi(f[3])
+		if err != nil {
+			return nil, fmt.Errorf("bad priority in %q: %v", spec, err)
+		}
+		ten.Priority = prio
+		rest := f[4:]
+		if len(f) == 7 {
+			if f[4] != "" {
+				w, err := strconv.ParseFloat(f[4], 64)
+				if err != nil || w < 0 {
+					return nil, fmt.Errorf("bad weight in %q", spec)
+				}
+				ten.Weight = w
+			}
+			rest = f[5:]
+		}
+		period, err := time.ParseDuration(rest[0])
+		if err != nil {
+			return nil, fmt.Errorf("bad period in %q: %v", spec, err)
+		}
+		ten.Period = period
+		count, err := strconv.Atoi(rest[1])
+		if err != nil {
+			return nil, fmt.Errorf("bad count in %q: %v", spec, err)
+		}
+		ten.Count = count
+		out = append(out, ten)
+	}
+	return out, nil
+}
+
+func cmdReplay(args []string) error {
+	fs := flag.NewFlagSet("replay", flag.ExitOnError)
+	var (
+		tracePath  = fs.String("trace", "", "trace path (rotated segments path.N are merged in)")
+		policy     = fs.String("policy", "", "override policy: hpf, hpf-naive, ffs, fifo (empty = as recorded)")
+		devices    = fs.Int("devices", 0, "override device count (0 = as recorded)")
+		lOverride  = fs.Int("L", 0, "override the amortizing factor for every kernel (0 = tuned)")
+		spa        = fs.Int("spa", 0, "spatial preemption: >0 enables with that many yielded SMs, -1 forces off, 0 = as recorded")
+		maxOver    = fs.Float64("max-overhead", 0, "override the FFS overhead budget (0 = as recorded)")
+		seed       = fs.Int64("seed", 1, "placement tie-break seed")
+		jsonOut    = fs.Bool("json", false, "emit the summary as JSON instead of text")
+		models     = fs.String("models", "", "warm-start duration predictors from this export (see -save-models)")
+		saveModels = fs.String("save-models", "", "export the trained duration predictors to this path after the offline phase")
+		quiet      = fs.Bool("q", false, "suppress offline-phase progress")
+	)
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("replay: -trace is required")
+	}
+
+	rp, err := buildReplayer(*tracePath, *models, *quiet)
+	if err != nil {
+		return err
+	}
+	if *saveModels != "" {
+		if err := replay.SaveModels(*saveModels, rp.System(), rp.Trace().Benchmarks()); err != nil {
+			return err
+		}
+		if !*quiet {
+			log.Printf("exported predictors to %s", *saveModels)
+		}
+	}
+
+	cfg := replay.ReplayConfig{
+		Policy: *policy, Devices: *devices, L: *lOverride,
+		MaxOverhead: *maxOver, Seed: *seed,
+	}
+	switch {
+	case *spa > 0:
+		on := true
+		cfg.Spatial = &on
+		cfg.SpatialSMs = *spa
+	case *spa < 0:
+		off := false
+		cfg.Spatial = &off
+		cfg.SpatialSMs = -1
+	}
+	sum, err := rp.Run(cfg)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeJSON(sum)
+	}
+	sum.RenderText(os.Stdout)
+	return nil
+}
+
+func cmdWhatIf(args []string) error {
+	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
+	var (
+		tracePath = fs.String("trace", "", "trace path (rotated segments path.N are merged in)")
+		policies  = fs.String("policies", "", "policies axis, comma-separated (empty = hpf,ffs,fifo)")
+		devices   = fs.String("devices", "", "device-count axis, comma-separated ints (empty = as recorded)")
+		ls        = fs.String("L", "", "amortizing-factor axis, comma-separated ints (0 = tuned)")
+		spas      = fs.String("spa", "", "spatial axis, comma-separated ints (>0 = yielded SMs, -1 = off, 0 = as recorded)")
+		seed      = fs.Int64("seed", 1, "placement tie-break seed for every cell")
+		jsonOut   = fs.Bool("json", false, "emit the comparison as JSON instead of text")
+		models    = fs.String("models", "", "warm-start duration predictors from this export")
+		quiet     = fs.Bool("q", false, "suppress offline-phase progress")
+	)
+	fs.Parse(args)
+	if *tracePath == "" {
+		return fmt.Errorf("whatif: -trace is required")
+	}
+
+	m := replay.Matrix{Seed: *seed}
+	m.Policies = splitCSV(*policies)
+	var err error
+	if m.Devices, err = parseInts(*devices); err != nil {
+		return fmt.Errorf("whatif: -devices: %w", err)
+	}
+	if m.Ls, err = parseInts(*ls); err != nil {
+		return fmt.Errorf("whatif: -L: %w", err)
+	}
+	if m.SpatialSMs, err = parseInts(*spas); err != nil {
+		return fmt.Errorf("whatif: -spa: %w", err)
+	}
+
+	rp, err := buildReplayer(*tracePath, *models, *quiet)
+	if err != nil {
+		return err
+	}
+	cmp, err := rp.WhatIf(m)
+	if err != nil {
+		return err
+	}
+	if *jsonOut {
+		return writeJSON(cmp)
+	}
+	cmp.RenderText(os.Stdout)
+	return nil
+}
+
+// buildReplayer loads the trace (merging rotated segments) and runs the
+// offline phase, optionally warm-starting the predictors from an export.
+func buildReplayer(tracePath, modelsPath string, quiet bool) (*replay.Replayer, error) {
+	t, err := replay.Load(tracePath)
+	if err != nil {
+		return nil, err
+	}
+	opts := replay.ReplayerOptions{}
+	if !quiet {
+		opts.Logf = log.Printf
+	}
+	if modelsPath != "" {
+		if opts.Models, err = replay.LoadModels(modelsPath); err != nil {
+			return nil, err
+		}
+	}
+	return replay.NewReplayer(t, opts)
+}
+
+func writeJSON(v any) error {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", " ")
+	return enc.Encode(v)
+}
+
+func splitCSV(s string) []string {
+	var out []string
+	for _, f := range strings.Split(s, ",") {
+		if f = strings.TrimSpace(f); f != "" {
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, f := range splitCSV(s) {
+		n, err := strconv.Atoi(f)
+		if err != nil {
+			return nil, fmt.Errorf("bad int %q", f)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}

@@ -48,6 +48,11 @@ type Config struct {
 	// kernel (used by HPF's decision rule and FFS's epoch sizing). Nil
 	// falls back to a drain-model estimate.
 	OverheadEstimate func(kernel string) time.Duration
+	// OnPreemptDrained, if set, observes every realized preemption drain
+	// with its latency (flag raise → drain complete). Replay uses it to
+	// collect exact drain-latency distributions; metrics histograms only
+	// keep bucketed approximations. Called on the simulation goroutine.
+	OnPreemptDrained func(v *Invocation, latency time.Duration)
 	// Log, if set, receives runtime events.
 	Log *trace.Log
 	// Metrics, if set, receives runtime instrumentation (see NewMetrics).
@@ -376,6 +381,9 @@ func (r *Runtime) onDrained(v *Invocation, remaining int) {
 	v.Preemptions++
 	drain := now - v.preemptAt
 	r.met.DrainLatency.Observe(drain.Seconds())
+	if r.cfg.OnPreemptDrained != nil {
+		r.cfg.OnPreemptDrained(v, drain)
+	}
 	if predErr := (v.preemptPredicted - drain).Seconds(); predErr >= 0 {
 		r.met.OverheadError.Observe(predErr)
 	} else {

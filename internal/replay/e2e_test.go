@@ -1,0 +1,168 @@
+// Live-vs-replay agreement: a real flepd daemon records its admission
+// stream while serving concurrent tenants; the replayer then re-drives
+// the trace through a fresh system and must land on exactly the same
+// per-tenant completion and preemption counts. Lives in the external
+// test package because it imports the server (which imports replay).
+package replay_test
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"flep/internal/replay"
+	"flep/internal/server"
+)
+
+type tenantStats struct {
+	completed   int
+	preempted   int // launches that were preempted at least once
+	preemptions int
+}
+
+func TestRecordReplayEndToEnd(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	cfg := server.Config{Policy: "hpf", Benchmarks: []string{"CFD", "VA"}}
+	rec, err := replay.NewRecorder(path, cfg.RecorderHeader(1), replay.RecorderOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	cfg.Recorder = rec
+	s, err := server.New(cfg)
+	if err != nil {
+		t.Fatalf("server.New: %v", err)
+	}
+	ts := httptest.NewServer(s.Handler())
+
+	// Two closed-loop tenants in contention: the latency tenant's small
+	// VA launches keep arriving while the batch tenant's large CFD
+	// launches occupy the device, so HPF preempts.
+	type spec struct {
+		client, bench, class string
+		priority, n          int
+	}
+	specs := []spec{
+		{"tenant-hi", "VA", "small", 2, 12},
+		{"tenant-lo", "CFD", "large", 1, 4},
+	}
+	live := map[string]*tenantStats{}
+	for _, sp := range specs {
+		live[sp.client] = &tenantStats{}
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for _, sp := range specs {
+		wg.Add(1)
+		go func(sp spec) {
+			defer wg.Done()
+			for i := 0; i < sp.n; i++ {
+				body, _ := json.Marshal(map[string]any{
+					"client": sp.client, "benchmark": sp.bench,
+					"class": sp.class, "priority": sp.priority,
+				})
+				resp, err := http.Post(ts.URL+"/v1/launch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					t.Errorf("%s launch %d: %v", sp.client, i, err)
+					return
+				}
+				var res server.LaunchResult
+				derr := json.NewDecoder(resp.Body).Decode(&res)
+				resp.Body.Close()
+				if derr != nil || resp.StatusCode != http.StatusOK || res.Err != "" {
+					t.Errorf("%s launch %d: code=%d decode=%v err=%q", sp.client, i, resp.StatusCode, derr, res.Err)
+					return
+				}
+				mu.Lock()
+				st := live[sp.client]
+				st.completed++
+				st.preemptions += res.Preemptions
+				if res.Preemptions > 0 {
+					st.preempted++
+				}
+				mu.Unlock()
+			}
+		}(sp)
+	}
+	wg.Wait()
+	ts.Close()
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatalf("shutdown: %v", err)
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("closing recorder: %v", err)
+	}
+	if t.Failed() {
+		t.FailNow()
+	}
+
+	total := 0
+	for _, sp := range specs {
+		total += sp.n
+	}
+	tr, err := replay.Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if tr.Header.Source != replay.SourceFlepd {
+		t.Fatalf("trace source %q", tr.Header.Source)
+	}
+	if len(tr.Records) != total {
+		t.Fatalf("trace has %d records, live run admitted %d", len(tr.Records), total)
+	}
+	if !tr.Exact() {
+		t.Fatal("flepd trace does not support exact replay")
+	}
+
+	rp, err := replay.NewReplayer(tr, replay.ReplayerOptions{})
+	if err != nil {
+		t.Fatalf("NewReplayer: %v", err)
+	}
+	sum, err := rp.Run(replay.ReplayConfig{})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if sum.Mode != replay.ModeExact {
+		t.Fatalf("replay mode %q, want exact", sum.Mode)
+	}
+	if d := sum.Divergence; d.TePrediction+d.StepShortfall+d.Placement+d.SubmitErrors != 0 {
+		t.Fatalf("exact replay diverged: %+v", d)
+	}
+	if sum.Completed != total {
+		t.Fatalf("replay completed %d, live %d", sum.Completed, total)
+	}
+
+	replayed := map[string]replay.TenantSummary{}
+	for _, ten := range sum.Tenants {
+		replayed[ten.Client] = ten
+	}
+	for client, lv := range live {
+		rv, ok := replayed[client]
+		if !ok {
+			t.Fatalf("replay lost tenant %s", client)
+		}
+		if rv.Completed != lv.completed || rv.Preempted != lv.preempted || rv.Preemptions != lv.preemptions {
+			t.Fatalf("tenant %s: live (completed=%d preempted=%d preemptions=%d) vs replay (completed=%d preempted=%d preemptions=%d)",
+				client, lv.completed, lv.preempted, lv.preemptions,
+				rv.Completed, rv.Preempted, rv.Preemptions)
+		}
+	}
+
+	// The replayed trace also replays deterministically a second time.
+	sum2, err := rp.Run(replay.ReplayConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b1, _ := json.Marshal(sum)
+	b2, _ := json.Marshal(sum2)
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("exact replay not deterministic:\n%s\n%s", b1, b2)
+	}
+}

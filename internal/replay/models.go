@@ -1,0 +1,73 @@
+package replay
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+
+	"flep/internal/core"
+	"flep/internal/perfmodel"
+)
+
+// modelsFile is the on-disk shape of an exported predictor set.
+type modelsFile struct {
+	FlepModels bool                       `json:"flep_models"`
+	Version    int                        `json:"version"`
+	Models     map[string]perfmodel.State `json:"models"`
+}
+
+// SaveModels exports the trained duration predictors of the named
+// benchmarks (nil = all with artifacts) from a system to a JSON file.
+// LoadModels restores them bit-identically, so a replayer warmed with a
+// live daemon's predictors reproduces the live Te estimates exactly.
+func SaveModels(path string, sys *core.System, names []string) error {
+	mf := modelsFile{FlepModels: true, Version: Version, Models: map[string]perfmodel.State{}}
+	for _, name := range names {
+		a := sys.Artifacts(name)
+		if a == nil || a.Model == nil {
+			return fmt.Errorf("replay: no trained model for %s", name)
+		}
+		mf.Models[name] = a.Model.State()
+	}
+	// Deterministic output: encoding/json sorts map keys, so the file is
+	// stable for a given model set.
+	b, err := json.MarshalIndent(mf, "", " ")
+	if err != nil {
+		return fmt.Errorf("replay: marshal models: %w", err)
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// LoadModels restores an exported predictor set.
+func LoadModels(path string) (map[string]*perfmodel.Model, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("replay: %w", err)
+	}
+	var mf modelsFile
+	if err := json.Unmarshal(b, &mf); err != nil {
+		return nil, fmt.Errorf("replay: %s is not a model export: %w", path, err)
+	}
+	if !mf.FlepModels {
+		return nil, fmt.Errorf("replay: %s lacks the flep_models marker", path)
+	}
+	if mf.Version != Version {
+		return nil, fmt.Errorf("replay: unsupported model export version %d (this build reads version %d)",
+			mf.Version, Version)
+	}
+	out := map[string]*perfmodel.Model{}
+	names := make([]string, 0, len(mf.Models))
+	for n := range mf.Models {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		m, err := perfmodel.FromState(mf.Models[n])
+		if err != nil {
+			return nil, fmt.Errorf("replay: model %s: %w", n, err)
+		}
+		out[n] = m
+	}
+	return out, nil
+}

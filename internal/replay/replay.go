@@ -1,0 +1,459 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strconv"
+	"time"
+
+	"flep/internal/core"
+	"flep/internal/flepruntime"
+	"flep/internal/gpu"
+	"flep/internal/kernels"
+	"flep/internal/obs"
+	"flep/internal/perfmodel"
+	"flep/internal/sim"
+)
+
+// Replay modes.
+const (
+	// ModeExact re-steps each shard's engine to every record's captured
+	// step index before submitting, reproducing the live run's arrival
+	// interleaving precisely. Available only when the trace came from
+	// flepd and the replay configuration matches the recording one.
+	ModeExact = "exact"
+	// ModeTimed schedules each record at its captured arrival offset in
+	// virtual time. Deterministic given the trace and seed, and the only
+	// option once the configuration deviates from the recorded one.
+	ModeTimed = "timed"
+)
+
+// ReplayerOptions tune the offline phase a Replayer performs once and
+// shares across all of its runs.
+type ReplayerOptions struct {
+	// Params overrides the device model (zero value = the paper's K40).
+	Params gpu.Params
+	// Models warm-starts the duration predictors: artifacts for these
+	// kernels use the supplied (e.g. live-exported) ridge state instead
+	// of the freshly trained one. See SaveModels/LoadModels.
+	Models map[string]*perfmodel.Model
+	// Logf, when set, receives offline-phase progress lines.
+	Logf func(format string, args ...any)
+}
+
+// Replayer owns a loaded trace plus the offline artifacts needed to
+// re-drive it. Building one is expensive (the full offline phase runs
+// per benchmark); each Run then clones the system and is cheap, so a
+// what-if matrix amortizes the offline cost across all its cells.
+type Replayer struct {
+	trace   *Trace
+	opts    ReplayerOptions
+	sys     *core.System
+	benches map[string]*kernels.Benchmark
+	solo    map[soloKey]time.Duration
+}
+
+type soloKey struct {
+	bench string
+	class kernels.InputClass
+}
+
+// NewReplayer builds the offline artifacts for every benchmark the trace
+// references and precomputes the solo baselines (ANTT denominators).
+func NewReplayer(t *Trace, opts ReplayerOptions) (*Replayer, error) {
+	if len(t.Records) == 0 {
+		return nil, fmt.Errorf("replay: trace has no records")
+	}
+	if opts.Params.Limits.NumSMs == 0 {
+		opts.Params = gpu.DefaultParams()
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	rp := &Replayer{
+		trace:   t,
+		opts:    opts,
+		sys:     core.NewSystem(opts.Params),
+		benches: map[string]*kernels.Benchmark{},
+		solo:    map[soloKey]time.Duration{},
+	}
+	for _, name := range t.Benchmarks() {
+		b, err := kernels.ByName(name)
+		if err != nil {
+			return nil, fmt.Errorf("replay: trace references %s: %w", name, err)
+		}
+		start := time.Now()
+		if err := rp.sys.Offline([]*kernels.Benchmark{b}); err != nil {
+			return nil, fmt.Errorf("replay: offline %s: %w", name, err)
+		}
+		if m := opts.Models[name]; m != nil {
+			rp.sys.Artifacts(name).Model = m
+			opts.Logf("offline %-5s (%v) [warm predictor]", name, time.Since(start).Round(time.Millisecond))
+		} else {
+			opts.Logf("offline %-5s (%v)", name, time.Since(start).Round(time.Millisecond))
+		}
+		rp.benches[name] = b
+	}
+	for name, b := range rp.benches {
+		for _, c := range kernels.Classes() {
+			d, err := rp.sys.SoloTime(b, c)
+			if err != nil {
+				return nil, fmt.Errorf("replay: solo %s/%s: %w", name, c, err)
+			}
+			rp.solo[soloKey{name, c}] = d
+		}
+	}
+	return rp, nil
+}
+
+// Trace returns the loaded trace.
+func (rp *Replayer) Trace() *Trace { return rp.trace }
+
+// System exposes the replayer's offline artifacts (for model export).
+func (rp *Replayer) System() *core.System { return rp.sys }
+
+// ReplayConfig parameterizes one replay run. The zero value replays "as
+// recorded": the header's policy and device count, recorded placement,
+// and step-exact timing when the trace supports it.
+type ReplayConfig struct {
+	// Policy overrides the scheduling policy: hpf, hpf-naive, ffs, or
+	// fifo (the non-preemptive baseline). Empty = the trace header's
+	// policy (hpf if the header has none).
+	Policy string
+	// Spatial / SpatialSMs / MaxOverhead / Weights override the
+	// corresponding recorded scheduler knobs. SpatialSMs is the paper's
+	// spa_P. Nil/zero values inherit from the header.
+	Spatial     *bool
+	SpatialSMs  int
+	MaxOverhead float64
+	Weights     map[int]float64
+	// Devices overrides the device count (0 = as recorded).
+	Devices int
+	// L, when positive, overrides every kernel's tuned amortizing factor.
+	L int
+	// Seed drives the placement router's tie-break rotation. Replaying
+	// the same trace with the same seed is fully deterministic.
+	Seed int64
+	// Registry, when set, receives replay divergence counters.
+	Registry *obs.Registry
+}
+
+// effective resolves a run configuration against the trace header.
+func (rp *Replayer) effective(cfg ReplayConfig) ReplayConfig {
+	h := rp.trace.Header
+	if cfg.Policy == "" {
+		cfg.Policy = h.Policy
+	}
+	if cfg.Policy == "" {
+		cfg.Policy = "hpf"
+	}
+	if cfg.Spatial == nil {
+		s := h.Spatial
+		cfg.Spatial = &s
+	}
+	if cfg.SpatialSMs == 0 {
+		cfg.SpatialSMs = h.SpatialSMs
+	}
+	if cfg.MaxOverhead == 0 {
+		cfg.MaxOverhead = h.MaxOverhead
+	}
+	if cfg.MaxOverhead == 0 {
+		cfg.MaxOverhead = 0.10
+	}
+	if cfg.Weights == nil && len(h.Weights) > 0 {
+		cfg.Weights = map[int]float64{}
+		for k, v := range h.Weights {
+			if p, err := strconv.Atoi(k); err == nil {
+				cfg.Weights[p] = v
+			}
+		}
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = h.Devices
+	}
+	if cfg.Devices <= 0 {
+		cfg.Devices = 1
+	}
+	return cfg
+}
+
+// matchesRecorded reports whether the effective config reproduces the
+// recording one, which is what step-exact replay requires.
+func (rp *Replayer) matchesRecorded(cfg ReplayConfig) bool {
+	h := rp.trace.Header
+	policy := h.Policy
+	if policy == "" {
+		policy = "hpf"
+	}
+	return cfg.Policy == policy &&
+		*cfg.Spatial == h.Spatial &&
+		cfg.SpatialSMs == h.SpatialSMs &&
+		cfg.L == 0 &&
+		cfg.Devices >= rp.maxRecordedDevice()+1 &&
+		(h.Devices == 0 || cfg.Devices == h.Devices)
+}
+
+func (rp *Replayer) maxRecordedDevice() int {
+	max := 0
+	for _, r := range rp.trace.Records {
+		if r.Device > max {
+			max = r.Device
+		}
+	}
+	return max
+}
+
+// newPolicy constructs a scheduling policy by name.
+func newPolicy(cfg ReplayConfig) (flepruntime.Policy, *flepruntime.FFS, error) {
+	switch cfg.Policy {
+	case "hpf":
+		return flepruntime.NewHPF(), nil, nil
+	case "hpf-naive":
+		h := flepruntime.NewHPF()
+		h.OverheadAware = false
+		return h, nil, nil
+	case "ffs":
+		f := flepruntime.NewFFS(cfg.MaxOverhead)
+		f.Weights = map[int]float64{}
+		for p, w := range cfg.Weights {
+			f.Weights[p] = w
+		}
+		return f, f, nil
+	case "fifo":
+		return flepruntime.NewFIFO(), nil, nil
+	}
+	return nil, nil, fmt.Errorf("replay: unknown policy %q (want hpf, hpf-naive, ffs, or fifo)", cfg.Policy)
+}
+
+// devRun is one replayed device shard: engine, device, runtime, and the
+// step/bookkeeping counters the drivers need.
+type devRun struct {
+	eng       *sim.Engine
+	dev       *gpu.Device
+	rt        *flepruntime.Runtime
+	ffs       *flepruntime.FFS
+	stepped   int64
+	inFlight  int
+	drains    []time.Duration
+	completed int
+}
+
+// outcome is one finished replayed launch joined with its trace record.
+type outcome struct {
+	rec         Record
+	device      int
+	te          time.Duration
+	turnaround  time.Duration
+	waiting     time.Duration
+	finishedAt  time.Duration
+	preemptions int
+}
+
+// parseClass maps a record's class name (replay mirrors the server's
+// parsing: empty means small).
+func parseClass(name string) (kernels.InputClass, error) {
+	switch name {
+	case "", "small":
+		return kernels.Small, nil
+	case "large":
+		return kernels.Large, nil
+	case "trivial":
+		return kernels.Trivial, nil
+	}
+	return 0, fmt.Errorf("replay: unknown input class %q", name)
+}
+
+// Run replays the trace under the configuration and summarizes the
+// result. It is single-threaded and fully deterministic: the same trace,
+// configuration, and seed always produce a byte-identical summary.
+func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
+	eff := rp.effective(cfg)
+	policyName := eff.Policy
+
+	mode := ModeTimed
+	if rp.trace.Exact() && rp.matchesRecorded(eff) {
+		mode = ModeExact
+	}
+
+	devs := make([]*devRun, eff.Devices)
+	var divTe, divStep, divPlacement, submitErrors int64
+	var outcomes []*outcome
+	for i := range devs {
+		policy, ffs, err := newPolicy(eff)
+		if err != nil {
+			return nil, err
+		}
+		d := &devRun{eng: sim.New(), ffs: ffs}
+		d.dev = gpu.New(d.eng, rp.opts.Params)
+		sys := rp.sys.Clone()
+		d.rt = flepruntime.New(d.dev, flepruntime.Config{
+			Policy:        policy,
+			EnableSpatial: *eff.Spatial,
+			SpatialSMs:    eff.SpatialSMs,
+			OverheadEstimate: func(kernel string) time.Duration {
+				if a := sys.Artifacts(kernel); a != nil {
+					return a.PreemptOverhead
+				}
+				return 0
+			},
+			OnPreemptDrained: func(_ *flepruntime.Invocation, latency time.Duration) {
+				d.drains = append(d.drains, latency)
+			},
+		})
+		devs[i] = d
+	}
+
+	// submit mirrors the daemon's admission path for one record on one
+	// replayed device.
+	submit := func(d *devRun, devIdx int, rec Record) error {
+		b := rp.benches[rec.Bench]
+		if b == nil {
+			return fmt.Errorf("replay: record %d references unknown benchmark %q", rec.Seq, rec.Bench)
+		}
+		class, err := parseClass(rec.Class)
+		if err != nil {
+			return fmt.Errorf("replay: record %d: %w", rec.Seq, err)
+		}
+		a := rp.sys.Artifacts(rec.Bench)
+		in := b.Input(class)
+		if rec.TasksOverride > 0 {
+			in.Tasks = rec.TasksOverride
+			in.Bytes = int64(in.Tasks) * b.BytesPerTask
+		}
+		te, _ := rp.sys.Predict(b, in)
+		if rec.Te > 0 && int64(te) != rec.Te {
+			divTe++
+		}
+		if d.ffs != nil && rec.Weight > 0 {
+			d.ffs.SetKernelWeight(rec.Bench, rec.Weight)
+		}
+		L := a.L
+		if eff.L > 0 {
+			L = eff.L
+		}
+		o := &outcome{rec: rec, device: devIdx, te: te}
+		v := &flepruntime.Invocation{
+			Kernel:     rec.Bench,
+			Priority:   rec.Priority,
+			Profile:    a.Profile,
+			Tasks:      in.Tasks,
+			TaskCost:   in.TaskCost,
+			L:          L,
+			WorkingSet: in.Bytes / 8,
+			Te:         te,
+			OnFinish: func(fv *flepruntime.Invocation) {
+				o.turnaround = fv.Turnaround()
+				o.waiting = fv.Tw
+				o.finishedAt = fv.FinishedAt()
+				o.preemptions = fv.Preemptions
+				d.inFlight--
+				d.completed++
+				outcomes = append(outcomes, o)
+			},
+		}
+		if err := d.rt.Submit(v); err != nil {
+			// The live daemon records only successful admissions, so a
+			// replay rejection is itself a divergence worth counting.
+			submitErrors++
+			return nil
+		}
+		d.inFlight++
+		return nil
+	}
+
+	switch mode {
+	case ModeExact:
+		// Replay each shard independently: records in admission order,
+		// engine stepped to each record's captured step index first —
+		// exactly the interleaving the live loop produced.
+		perDev := make([][]Record, eff.Devices)
+		for _, rec := range rp.trace.Records {
+			dv := rec.Device
+			if dv < 0 || dv >= eff.Devices {
+				dv = 0
+			}
+			perDev[dv] = append(perDev[dv], rec)
+		}
+		for i, recs := range perDev {
+			d := devs[i]
+			sort.SliceStable(recs, func(a, b int) bool { return recs[a].Seq < recs[b].Seq })
+			for _, rec := range recs {
+				for d.stepped < rec.Step {
+					if !d.eng.Step() {
+						divStep++
+						break
+					}
+					d.stepped++
+				}
+				if err := submit(d, i, rec); err != nil {
+					return nil, err
+				}
+			}
+		}
+	case ModeTimed:
+		// One global timeline: records sorted by arrival offset, each
+		// submitted at its offset, placed on the recorded device when it
+		// exists or routed least-loaded with a seeded rotating tie-break.
+		recs := append([]Record(nil), rp.trace.Records...)
+		sort.SliceStable(recs, func(a, b int) bool {
+			if recs[a].At != recs[b].At {
+				return recs[a].At < recs[b].At
+			}
+			return recs[a].Seq < recs[b].Seq
+		})
+		route := eff.Devices > 1 && (eff.Devices != rp.trace.Header.Devices || rp.maxRecordedDevice() >= eff.Devices)
+		rng := rand.New(rand.NewSource(eff.Seed))
+		for _, rec := range recs {
+			at := time.Duration(rec.At)
+			var target int
+			if !route && rec.Device >= 0 && rec.Device < eff.Devices {
+				target = rec.Device
+				devs[target].eng.RunUntil(at)
+			} else {
+				// Advance every shard to the arrival so the router scores
+				// fresh state, then pick the least loaded, ties broken from
+				// a seeded rotating start.
+				for _, d := range devs {
+					d.eng.RunUntil(at)
+				}
+				start := rng.Intn(eff.Devices)
+				best, bestLoad := -1, int(^uint(0)>>1)
+				for k := 0; k < eff.Devices; k++ {
+					i := (start + k) % eff.Devices
+					if devs[i].inFlight < bestLoad {
+						best, bestLoad = i, devs[i].inFlight
+					}
+				}
+				target = best
+				if rec.Device >= 0 && rec.Device != target {
+					divPlacement++
+				}
+			}
+			if err := submit(devs[target], target, rec); err != nil {
+				return nil, err
+			}
+		}
+	}
+
+	// Drain: run every shard to completion.
+	for _, d := range devs {
+		d.eng.Run()
+	}
+
+	sum := rp.summarize(eff, policyName, mode, devs, outcomes, divTe, divStep, divPlacement, submitErrors)
+	if eff.Registry != nil {
+		reg := eff.Registry
+		reg.Counter("flep_replay_records_total", "Trace records replayed").Add(int64(len(rp.trace.Records)))
+		reg.Counter("flep_replay_completed_total", "Replayed launches that completed").Add(int64(sum.Completed))
+		div := func(kind string) *obs.Counter {
+			return reg.Counter("flep_replay_divergence_total",
+				"Replay divergences from the recorded run", "kind", kind)
+		}
+		div("te_prediction").Add(divTe)
+		div("step_shortfall").Add(divStep)
+		div("placement").Add(divPlacement)
+		div("submit_error").Add(submitErrors)
+	}
+	return sum, nil
+}

@@ -1,0 +1,292 @@
+package replay
+
+import (
+	"bytes"
+	"encoding/json"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"flep/internal/workload"
+)
+
+// The shared two-tenant contention mix: a latency-critical tenant
+// submitting small VA launches at high priority against a batch tenant
+// whose large CFD launches oversubscribe the device. One replayer is
+// built once (the offline phase dominates) and shared read-only.
+var (
+	mixOnce sync.Once
+	mixTr   *Trace
+	mixRp   *Replayer
+	mixErr  error
+)
+
+func mixTenants() []MixTenant {
+	return []MixTenant{
+		{Client: "latency", Bench: "VA", Class: "small", Priority: 2, Period: 2 * time.Millisecond, Count: 60},
+		{Client: "batch", Bench: "CFD", Class: "large", Priority: 1, Period: 8 * time.Millisecond, Count: 15},
+	}
+}
+
+func mixReplayer(t *testing.T) (*Trace, *Replayer) {
+	t.Helper()
+	mixOnce.Do(func() {
+		mixTr, mixErr = SynthesizeMix(mixTenants(), 7)
+		if mixErr != nil {
+			return
+		}
+		mixRp, mixErr = NewReplayer(mixTr, ReplayerOptions{})
+	})
+	if mixErr != nil {
+		t.Fatalf("building mix replayer: %v", mixErr)
+	}
+	return mixTr, mixRp
+}
+
+func mustJSON(t *testing.T, v any) []byte {
+	t.Helper()
+	b, err := json.Marshal(v)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	return b
+}
+
+// Determinism contract: the same trace, configuration, and seed produce
+// byte-identical summary JSON — across repeated runs of one replayer and
+// across independently built replayers.
+func TestReplaySummaryByteIdentical(t *testing.T) {
+	tr, rp := mixReplayer(t)
+	cfg := ReplayConfig{Policy: "hpf", Seed: 42}
+	s1, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	s2, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if b1, b2 := mustJSON(t, s1), mustJSON(t, s2); !bytes.Equal(b1, b2) {
+		t.Fatalf("same replayer, same config: summaries differ\n%s\n%s", b1, b2)
+	}
+
+	rp2, err := NewReplayer(tr, ReplayerOptions{})
+	if err != nil {
+		t.Fatalf("second replayer: %v", err)
+	}
+	s3, err := rp2.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if b1, b3 := mustJSON(t, s1), mustJSON(t, s3); !bytes.Equal(b1, b3) {
+		t.Fatalf("independent replayers disagree\n%s\n%s", b1, b3)
+	}
+
+	if s1.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d records", s1.Completed, len(tr.Records))
+	}
+	if s1.SubmitErrors != 0 {
+		t.Fatalf("submit errors: %d", s1.SubmitErrors)
+	}
+	// And so does the synthesized trace itself.
+	tr2, err := SynthesizeMix(mixTenants(), 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, tr.Records), mustJSON(t, tr2.Records)) {
+		t.Fatal("SynthesizeMix is not deterministic for a fixed seed")
+	}
+}
+
+// The acceptance scenario: on a mixed two-tenant trace the advisor must
+// reproduce the paper's shape — HPF beats non-preemptive FIFO on
+// high-priority ANTT, FFS beats HPF on fairness, and the report states
+// the crossover.
+func TestWhatIfPaperShapedOrdering(t *testing.T) {
+	_, rp := mixReplayer(t)
+	cmp, err := rp.WhatIf(Matrix{Seed: 7})
+	if err != nil {
+		t.Fatalf("WhatIf: %v", err)
+	}
+	byPolicy := map[string]*Summary{}
+	for i := range cmp.Cells {
+		byPolicy[cmp.Cells[i].Policy] = cmp.Cells[i].Summary
+	}
+	hpf, ffs, fifo := byPolicy["hpf"], byPolicy["ffs"], byPolicy["fifo"]
+	if hpf == nil || ffs == nil || fifo == nil {
+		t.Fatalf("default matrix missing a policy: %v", cmp.Ranking)
+	}
+	if hpf.HighPrioANTT <= 0 || fifo.HighPrioANTT <= 0 {
+		t.Fatalf("degenerate ANTT: hpf=%v fifo=%v", hpf.HighPrioANTT, fifo.HighPrioANTT)
+	}
+	if hpf.HighPrioANTT >= fifo.HighPrioANTT {
+		t.Fatalf("HPF high-prio ANTT %.3f not better than FIFO %.3f",
+			hpf.HighPrioANTT, fifo.HighPrioANTT)
+	}
+	if ffs.Fairness <= hpf.Fairness {
+		t.Fatalf("FFS fairness %.3f not better than HPF %.3f", ffs.Fairness, hpf.Fairness)
+	}
+	if fifo.Preemptions != 0 {
+		t.Fatalf("non-preemptive baseline preempted %d times", fifo.Preemptions)
+	}
+	if hpf.Preemptions == 0 {
+		t.Fatal("HPF never preempted on a contended trace")
+	}
+	var crossover bool
+	for _, f := range cmp.Findings {
+		if strings.HasPrefix(f, "Crossover:") {
+			crossover = true
+		}
+	}
+	if !crossover {
+		t.Fatalf("report does not state the crossover; findings: %q", cmp.Findings)
+	}
+	if cmp.Recommendation == "" || len(cmp.Ranking) != len(cmp.Cells) {
+		t.Fatalf("incomplete report: rec=%q ranking=%v", cmp.Recommendation, cmp.Ranking)
+	}
+
+	// The full comparison is itself deterministic.
+	cmp2, err := rp.WhatIf(Matrix{Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, cmp), mustJSON(t, cmp2)) {
+		t.Fatal("what-if comparison not byte-identical across runs")
+	}
+}
+
+// Exported predictors round-trip bit-identically, so a replayer warmed
+// with them reproduces the exporting system's Te estimates exactly: the
+// warm replay's summary equals the cold one byte for byte, with zero Te
+// divergence.
+func TestWarmModelReplayMatchesCold(t *testing.T) {
+	tr, rp := mixReplayer(t)
+	path := filepath.Join(t.TempDir(), "models.json")
+	if err := SaveModels(path, rp.System(), tr.Benchmarks()); err != nil {
+		t.Fatalf("SaveModels: %v", err)
+	}
+	models, err := LoadModels(path)
+	if err != nil {
+		t.Fatalf("LoadModels: %v", err)
+	}
+	for _, name := range tr.Benchmarks() {
+		if models[name] == nil {
+			t.Fatalf("export lacks model for %s", name)
+		}
+	}
+
+	warm, err := NewReplayer(tr, ReplayerOptions{Models: models})
+	if err != nil {
+		t.Fatalf("warm replayer: %v", err)
+	}
+	cfg := ReplayConfig{Policy: "hpf", Seed: 7}
+	cold, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot, err := warm.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hot.Divergence.TePrediction != 0 {
+		t.Fatalf("warm replay diverged on %d Te predictions", hot.Divergence.TePrediction)
+	}
+	if b1, b2 := mustJSON(t, cold), mustJSON(t, hot); !bytes.Equal(b1, b2) {
+		t.Fatalf("warm summary differs from cold\n%s\n%s", b1, b2)
+	}
+
+	if _, err := LoadModels(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing export loaded")
+	}
+}
+
+// Timed replay with a different device count than recorded: the trace
+// routes across the fleet deterministically per seed.
+func TestTimedReplayAcrossMoreDevices(t *testing.T) {
+	tr, rp := mixReplayer(t)
+	cfg := ReplayConfig{Policy: "hpf", Devices: 2, Seed: 3}
+	s1, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.Mode != ModeTimed || s1.Devices != 2 {
+		t.Fatalf("mode=%s devices=%d, want timed/2", s1.Mode, s1.Devices)
+	}
+	if s1.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d", s1.Completed, len(tr.Records))
+	}
+	s2, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, s1), mustJSON(t, s2)) {
+		t.Fatal("multi-device timed replay not deterministic")
+	}
+}
+
+func TestReplayRejectsUnknownPolicy(t *testing.T) {
+	_, rp := mixReplayer(t)
+	_, err := rp.Run(ReplayConfig{Policy: "lottery"})
+	if err == nil || !strings.Contains(err.Error(), `unknown policy "lottery"`) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+// The scenario adapters: a synthesized trace converts to a scripted
+// scenario and back without losing the replay-critical fields, and
+// closed-loop scenarios are rejected with a pointed error.
+func TestScenarioAdapters(t *testing.T) {
+	tr, _ := mixReplayer(t)
+	sc, err := tr.ToScenario("mix")
+	if err != nil {
+		t.Fatalf("ToScenario: %v", err)
+	}
+	if len(sc.Items) != len(tr.Records) {
+		t.Fatalf("scenario has %d items, trace %d records", len(sc.Items), len(tr.Records))
+	}
+	back, err := FromScenario(sc, 7)
+	if err != nil {
+		t.Fatalf("FromScenario: %v", err)
+	}
+	if len(back.Records) != len(tr.Records) {
+		t.Fatalf("round-trip lost records: %d vs %d", len(back.Records), len(tr.Records))
+	}
+	for i, r := range back.Records {
+		orig := tr.Records[i] // both sides sort by (At, Seq)
+		if r.At != orig.At || r.Bench != orig.Bench || r.Class != orig.Class || r.Priority != orig.Priority {
+			t.Fatalf("record %d mangled: %+v vs %+v", i, r, orig)
+		}
+	}
+
+	b := sc.Items[0].Bench
+	_, err = FromScenario(workload.Scenario{Name: "loop", Items: []workload.Item{{Bench: b, Loop: true}}}, 1)
+	if err == nil || !strings.Contains(err.Error(), "closed-loop") {
+		t.Fatalf("closed-loop scenario not rejected: %v", err)
+	}
+}
+
+// WriteFile persists a synthesized trace that loads back identically —
+// the flepreplay record → replay path.
+func TestTraceWriteFileRoundTrip(t *testing.T) {
+	tr, _ := mixReplayer(t)
+	path := filepath.Join(t.TempDir(), "mix.trace")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.Header.Source != SourceScenario || got.Header.Seed != 7 {
+		t.Fatalf("header mangled: %+v", got.Header)
+	}
+	for i := range tr.Records {
+		a, b := tr.Records[i], got.Records[i]
+		a.Wall, b.Wall = 0, 0 // recorder stamps wall offsets; ignore
+		if a != b {
+			t.Fatalf("record %d: %+v vs %+v", i, a, b)
+		}
+	}
+}

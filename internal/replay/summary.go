@@ -1,0 +1,287 @@
+package replay
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Summary is one replay run's aggregate result. Every field is computed
+// from virtual-time quantities only — no wall clocks, no map-ordered
+// iteration — so the same trace, configuration, and seed marshal to
+// byte-identical JSON on every run (the determinism contract).
+type Summary struct {
+	Mode       string `json:"mode"`
+	Policy     string `json:"policy"`
+	Devices    int    `json:"devices"`
+	Spatial    bool   `json:"spatial"`
+	SpatialSMs int    `json:"spatial_sms,omitempty"`
+	LOverride  int    `json:"l_override,omitempty"`
+	Seed       int64  `json:"seed"`
+
+	Records      int   `json:"records"`
+	Completed    int   `json:"completed"`
+	SubmitErrors int64 `json:"submit_errors"`
+
+	// MakespanNS is the latest completion on the virtual clock;
+	// ThroughputPerSec is completed launches per virtual second of it.
+	MakespanNS       int64   `json:"makespan_ns"`
+	ThroughputPerSec float64 `json:"throughput_per_sec"`
+
+	// ANTT is the paper's average normalized turnaround time over every
+	// completed launch with a solo baseline; HighPriority/HighPrioANTT
+	// restrict it to the trace's top priority level (the latency-critical
+	// tenant the paper's HPF protects).
+	ANTT         float64 `json:"antt"`
+	HighPriority int     `json:"high_priority"`
+	HighPrioANTT float64 `json:"high_priority_antt"`
+
+	// Fairness is Jain's index over per-tenant mean NTT: 1.0 = perfectly
+	// even slowdowns, 1/n = one tenant absorbs all of it.
+	Fairness float64 `json:"fairness"`
+
+	// Preemption behaviour: realized preemption count and the drain
+	// latency distribution (flag raise → drain complete), exact — not
+	// bucketed — thanks to the runtime's OnPreemptDrained hook.
+	Preemptions int   `json:"preemptions"`
+	DrainP50NS  int64 `json:"drain_p50_ns"`
+	DrainP90NS  int64 `json:"drain_p90_ns"`
+	DrainP99NS  int64 `json:"drain_p99_ns"`
+
+	PerPriority []PrioritySummary `json:"per_priority"`
+	Tenants     []TenantSummary   `json:"tenants"`
+
+	Divergence Divergence `json:"divergence"`
+}
+
+// PrioritySummary aggregates one priority level.
+type PrioritySummary struct {
+	Priority    int     `json:"priority"`
+	Completed   int     `json:"completed"`
+	ANTT        float64 `json:"antt"`
+	Preemptions int     `json:"preemptions"`
+}
+
+// TenantSummary aggregates one recorded client.
+type TenantSummary struct {
+	Client           string  `json:"client"`
+	Completed        int     `json:"completed"`
+	Preempted        int     `json:"preempted"`
+	Preemptions      int     `json:"preemptions"`
+	MeanNTT          float64 `json:"mean_ntt"`
+	MeanTurnaroundNS int64   `json:"mean_turnaround_ns"`
+	MeanWaitNS       int64   `json:"mean_wait_ns"`
+}
+
+// Divergence counts where the replay departed from the recorded run.
+// All-zero on a faithful exact-mode replay; nonzero values localize what
+// changed (retrained predictor, different placement, config drift).
+type Divergence struct {
+	TePrediction  int64 `json:"te_prediction"`
+	StepShortfall int64 `json:"step_shortfall"`
+	Placement     int64 `json:"placement"`
+	SubmitErrors  int64 `json:"submit_errors"`
+}
+
+func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*devRun,
+	outcomes []*outcome, divTe, divStep, divPlacement, submitErrors int64) *Summary {
+	sum := &Summary{
+		Mode: mode, Policy: policy, Devices: eff.Devices,
+		Spatial: *eff.Spatial, SpatialSMs: eff.SpatialSMs,
+		LOverride: eff.L, Seed: eff.Seed,
+		Records: len(rp.trace.Records), Completed: len(outcomes),
+		SubmitErrors: submitErrors,
+		Divergence: Divergence{
+			TePrediction: divTe, StepShortfall: divStep,
+			Placement: divPlacement, SubmitErrors: submitErrors,
+		},
+	}
+
+	tenants := map[string]*acc{}
+	prios := map[int]*acc{}
+	var makespan time.Duration
+	var nttSum float64
+	var nttN int
+
+	for _, o := range outcomes {
+		if o.finishedAt > makespan {
+			makespan = o.finishedAt
+		}
+		ta := tenants[o.rec.Client]
+		if ta == nil {
+			ta = &acc{}
+			tenants[o.rec.Client] = ta
+		}
+		pa := prios[o.rec.Priority]
+		if pa == nil {
+			pa = &acc{}
+			prios[o.rec.Priority] = pa
+		}
+		ntt, hasNTT := rp.ntt(o)
+		for _, a := range []*acc{ta, pa} {
+			a.completed++
+			a.preemptions += o.preemptions
+			if o.preemptions > 0 {
+				a.preempted++
+			}
+			a.turnSum += o.turnaround
+			a.waitSum += o.waiting
+			if hasNTT {
+				a.nttSum += ntt
+				a.nttN++
+			}
+		}
+		if hasNTT {
+			nttSum += ntt
+			nttN++
+		}
+		sum.Preemptions += o.preemptions
+	}
+
+	sum.MakespanNS = int64(makespan)
+	if makespan > 0 {
+		sum.ThroughputPerSec = float64(sum.Completed) / makespan.Seconds()
+	}
+	if nttN > 0 {
+		sum.ANTT = nttSum / float64(nttN)
+	}
+
+	// Per-priority rows, ascending; the top level doubles as the
+	// high-priority ANTT headline.
+	prioKeys := make([]int, 0, len(prios))
+	for p := range prios {
+		prioKeys = append(prioKeys, p)
+	}
+	sort.Ints(prioKeys)
+	for _, p := range prioKeys {
+		a := prios[p]
+		ps := PrioritySummary{Priority: p, Completed: a.completed, Preemptions: a.preemptions}
+		if a.nttN > 0 {
+			ps.ANTT = a.nttSum / float64(a.nttN)
+		}
+		sum.PerPriority = append(sum.PerPriority, ps)
+	}
+	if n := len(prioKeys); n > 0 {
+		sum.HighPriority = prioKeys[n-1]
+		sum.HighPrioANTT = sum.PerPriority[n-1].ANTT
+	}
+
+	// Per-tenant rows, by client name; Jain's fairness index over the
+	// tenants that have a normalized slowdown.
+	names := make([]string, 0, len(tenants))
+	for n := range tenants {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	var jainSum, jainSq float64
+	jainN := 0
+	for _, n := range names {
+		a := tenants[n]
+		ts := TenantSummary{
+			Client: n, Completed: a.completed,
+			Preempted: a.preempted, Preemptions: a.preemptions,
+		}
+		if a.completed > 0 {
+			ts.MeanTurnaroundNS = int64(a.turnSum) / int64(a.completed)
+			ts.MeanWaitNS = int64(a.waitSum) / int64(a.completed)
+		}
+		if a.nttN > 0 {
+			ts.MeanNTT = a.nttSum / float64(a.nttN)
+			jainSum += ts.MeanNTT
+			jainSq += ts.MeanNTT * ts.MeanNTT
+			jainN++
+		}
+		sum.Tenants = append(sum.Tenants, ts)
+	}
+	if jainN > 0 && jainSq > 0 {
+		sum.Fairness = (jainSum * jainSum) / (float64(jainN) * jainSq)
+	}
+
+	// Drain latencies across all shards, exact percentiles.
+	var drains []time.Duration
+	for _, d := range devs {
+		drains = append(drains, d.drains...)
+	}
+	sort.Slice(drains, func(i, j int) bool { return drains[i] < drains[j] })
+	sum.DrainP50NS = int64(percentile(drains, 0.50))
+	sum.DrainP90NS = int64(percentile(drains, 0.90))
+	sum.DrainP99NS = int64(percentile(drains, 0.99))
+	return sum
+}
+
+// ntt returns the outcome's normalized turnaround time (turnaround over
+// the solo baseline), mirroring the daemon: overridden task counts have
+// no calibrated baseline and are excluded.
+func (rp *Replayer) ntt(o *outcome) (float64, bool) {
+	if o.rec.TasksOverride != 0 {
+		return 0, false
+	}
+	class, err := parseClass(o.rec.Class)
+	if err != nil {
+		return 0, false
+	}
+	solo := rp.solo[soloKey{o.rec.Bench, class}]
+	if solo <= 0 {
+		return 0, false
+	}
+	return o.turnaround.Seconds() / solo.Seconds(), true
+}
+
+// acc accumulates one tenant's or priority level's outcome statistics.
+type acc struct {
+	completed   int
+	preempted   int
+	preemptions int
+	nttSum      float64
+	nttN        int
+	turnSum     time.Duration
+	waitSum     time.Duration
+}
+
+// percentile returns the q-quantile of ascending-sorted durations using
+// the nearest-rank method (deterministic, no interpolation).
+func percentile(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q*float64(len(sorted))+0.5) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(sorted) {
+		i = len(sorted) - 1
+	}
+	return sorted[i]
+}
+
+// RenderText writes the summary as a human-oriented report.
+func (s *Summary) RenderText(w io.Writer) {
+	fmt.Fprintf(w, "replay: mode=%s policy=%s devices=%d", s.Mode, s.Policy, s.Devices)
+	if s.Spatial {
+		fmt.Fprintf(w, " spatial(sms=%d)", s.SpatialSMs)
+	}
+	if s.LOverride > 0 {
+		fmt.Fprintf(w, " L=%d", s.LOverride)
+	}
+	fmt.Fprintf(w, " seed=%d\n", s.Seed)
+	fmt.Fprintf(w, "  records=%d completed=%d submit_errors=%d makespan=%v\n",
+		s.Records, s.Completed, s.SubmitErrors, time.Duration(s.MakespanNS))
+	fmt.Fprintf(w, "  throughput=%.3f/s ANTT=%.4f high-prio(p%d) ANTT=%.4f fairness=%.4f\n",
+		s.ThroughputPerSec, s.ANTT, s.HighPriority, s.HighPrioANTT, s.Fairness)
+	fmt.Fprintf(w, "  preemptions=%d drain p50=%v p90=%v p99=%v\n",
+		s.Preemptions, time.Duration(s.DrainP50NS), time.Duration(s.DrainP90NS), time.Duration(s.DrainP99NS))
+	for _, p := range s.PerPriority {
+		fmt.Fprintf(w, "  priority %d: completed=%d ANTT=%.4f preemptions=%d\n",
+			p.Priority, p.Completed, p.ANTT, p.Preemptions)
+	}
+	for _, t := range s.Tenants {
+		fmt.Fprintf(w, "  tenant %-12s completed=%d preempted=%d preemptions=%d meanNTT=%.4f meanTurn=%v meanWait=%v\n",
+			t.Client, t.Completed, t.Preempted, t.Preemptions, t.MeanNTT,
+			time.Duration(t.MeanTurnaroundNS), time.Duration(t.MeanWaitNS))
+	}
+	if d := s.Divergence; d.TePrediction+d.StepShortfall+d.Placement+d.SubmitErrors > 0 {
+		fmt.Fprintf(w, "  divergence: te=%d step=%d placement=%d submit=%d\n",
+			d.TePrediction, d.StepShortfall, d.Placement, d.SubmitErrors)
+	}
+}

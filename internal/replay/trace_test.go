@@ -1,0 +1,254 @@
+package replay
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func testHeader() Header {
+	return Header{Source: SourceFlepd, Policy: "hpf", Devices: 1, Benchmarks: []string{"MM", "VA"}}
+}
+
+func testRecord(i int) Record {
+	return Record{
+		At: int64(i) * 1000, Step: int64(i), Device: 0,
+		Client: fmt.Sprintf("tenant-%d", i%2), Bench: "VA", Class: "small",
+		Priority: 1 + i%2, Grid: 100, Block: 256, Te: 12345,
+	}
+}
+
+func TestRecorderRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	const n = 10
+	for i := 0; i < n; i++ {
+		if !rec.Record(testRecord(i)) {
+			t.Fatalf("record %d dropped", i)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if tr.Header.Source != SourceFlepd || tr.Header.Policy != "hpf" || tr.Header.TraceVersion != Version {
+		t.Fatalf("header mangled: %+v", tr.Header)
+	}
+	if len(tr.Records) != n {
+		t.Fatalf("loaded %d records, want %d", len(tr.Records), n)
+	}
+	for i, r := range tr.Records {
+		if r.Seq != int64(i+1) {
+			t.Fatalf("record %d has seq %d", i, r.Seq)
+		}
+		if r.At != int64(i)*1000 || r.Step != int64(i) || r.Te != 12345 {
+			t.Fatalf("record %d fields mangled: %+v", i, r)
+		}
+	}
+}
+
+// Rotation mid-burst: a tiny segment bound forces rotation while records
+// are streaming in; Load must stitch path.1..N plus the live segment
+// back into one contiguous Seq stream with a header per segment.
+func TestRecorderRotationMidBurst(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{RotateBytes: 512})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	const n = 50
+	for i := 0; i < n; i++ {
+		if !rec.Record(testRecord(i)) {
+			t.Fatalf("record %d dropped", i)
+		}
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+
+	segs, _ := filepath.Glob(path + ".*")
+	if len(segs) < 2 {
+		t.Fatalf("expected multiple rotated segments, got %v", segs)
+	}
+	// Every rotated segment must open with its own valid header.
+	for _, seg := range segs {
+		if _, err := LoadFile(seg); err != nil {
+			t.Fatalf("rotated segment %s unreadable: %v", seg, err)
+		}
+	}
+
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(tr.Records) != n {
+		t.Fatalf("merged %d records across segments, want %d", len(tr.Records), n)
+	}
+	for i, r := range tr.Records {
+		if r.Seq != int64(i+1) {
+			t.Fatalf("merged stream not contiguous at %d: seq %d", i, r.Seq)
+		}
+	}
+}
+
+// Flush (the daemon's drain hook) must make everything recorded so far
+// readable even though the recorder is still open — a SIGTERM'd flepd
+// leaves a complete trace behind before Close ever runs.
+func TestRecorderFlushOnDrainMakesTraceReadable(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	defer rec.Close()
+	const n = 7
+	for i := 0; i < n; i++ {
+		rec.Record(testRecord(i))
+	}
+	// Before the flush the records sit in the 64 KiB buffer.
+	if tr, err := LoadFile(path); err == nil && len(tr.Records) == n {
+		t.Skip("records hit disk without a flush; buffer semantics changed")
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("Flush: %v", err)
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile after flush: %v", err)
+	}
+	if len(tr.Records) != n {
+		t.Fatalf("flushed trace has %d records, want %d", len(tr.Records), n)
+	}
+}
+
+func TestRecorderDropsAfterClose(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.trace")
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	rec.Record(testRecord(0))
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if rec.Record(testRecord(1)) {
+		t.Fatal("record after Close was accepted")
+	}
+	tr, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("trace has %d records, want 1", len(tr.Records))
+	}
+}
+
+func TestUnknownVersionRejected(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "future.trace")
+	content := `{"flep_trace":true,"version":99,"source":"flepd"}` + "\n"
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadFile(path)
+	if err == nil {
+		t.Fatal("version-99 trace loaded")
+	}
+	if !strings.Contains(err.Error(), "unsupported trace version 99") ||
+		!strings.Contains(err.Error(), fmt.Sprintf("version %d", Version)) {
+		t.Fatalf("error does not identify the version mismatch: %v", err)
+	}
+}
+
+func TestNonTraceRejected(t *testing.T) {
+	dir := t.TempDir()
+	for name, content := range map[string]string{
+		"empty.trace":   "",
+		"text.trace":    "hello world\n",
+		"json.trace":    `{"some":"jsonl","but":"not a trace"}` + "\n",
+		"nomagic.trace": `{"flep_trace":false,"version":1}` + "\n",
+	} {
+		path := filepath.Join(dir, name)
+		if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := LoadFile(path); err == nil {
+			t.Fatalf("%s loaded as a trace", name)
+		}
+	}
+}
+
+// A crash mid-write leaves a partial final line; every complete record
+// before it must load, and the tail is dropped silently.
+func TestTruncatedFinalLineTolerated(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "crash.trace")
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		rec.Record(testRecord(i))
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	// Chop the file mid-way through the final record's line.
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cut := len(b) - 10
+	if err := os.WriteFile(path, b[:cut], 0o644); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("truncated trace rejected: %v", err)
+	}
+	if len(tr.Records) != 2 {
+		t.Fatalf("truncated trace has %d records, want 2", len(tr.Records))
+	}
+	// A malformed line that is NOT the truncated tail is still an error.
+	bad := append(append([]byte{}, b[:cut]...), []byte("garbage}\n")...)
+	bad = append(bad, b[:60]...) // some trailing bytes after the bad line
+	if err := os.WriteFile(path, bad, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(path); err == nil {
+		t.Fatal("mid-file corruption loaded silently")
+	}
+}
+
+func TestExactDetection(t *testing.T) {
+	exact := &Trace{
+		Header: Header{Source: SourceFlepd},
+		Records: []Record{
+			{Seq: 1, At: 0, Step: 0}, // admitted before the engine ever stepped
+			{Seq: 2, At: 500, Step: 3},
+		},
+	}
+	if !exact.Exact() {
+		t.Fatal("flepd trace with step indexes not detected as exact")
+	}
+	missing := &Trace{
+		Header:  Header{Source: SourceFlepd},
+		Records: []Record{{Seq: 1, At: 500, Step: 0}},
+	}
+	if missing.Exact() {
+		t.Fatal("trace without step indexes claimed exact")
+	}
+	client := &Trace{
+		Header:  Header{Source: SourceFlepload},
+		Records: []Record{{Seq: 1, At: 500, Step: 3}},
+	}
+	if client.Exact() {
+		t.Fatal("client-side trace claimed exact")
+	}
+}

@@ -1,0 +1,146 @@
+package replay
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"flep/internal/kernels"
+	"flep/internal/workload"
+)
+
+// FromScenario converts a scripted workload.Scenario into a trace, so
+// the EXPERIMENTS scenarios can be fed to the replayer and what-if
+// advisor directly. Closed-loop (Loop) items have no finite arrival
+// list — their arrivals depend on completions — and are rejected;
+// record a live run instead.
+func FromScenario(sc workload.Scenario, seed int64) (*Trace, error) {
+	t := &Trace{Header: Header{
+		Magic: true, TraceVersion: Version, Source: SourceScenario,
+		Seed: seed,
+	}}
+	seen := map[string]bool{}
+	for i, it := range sc.Items {
+		if it.Loop {
+			return nil, fmt.Errorf("replay: scenario %s item %d is closed-loop; record a live run to trace it", sc.Name, i)
+		}
+		if !seen[it.Bench.Name] {
+			seen[it.Bench.Name] = true
+			t.Header.Benchmarks = append(t.Header.Benchmarks, it.Bench.Name)
+		}
+		t.Records = append(t.Records, Record{
+			Seq: int64(i + 1), At: int64(it.At), Device: -1,
+			Client:        fmt.Sprintf("%s-p%d", it.Bench.Name, it.Priority),
+			Bench:         it.Bench.Name,
+			Class:         it.Class.String(),
+			Priority:      it.Priority,
+			TasksOverride: it.TasksOverride,
+		})
+	}
+	sort.Strings(t.Header.Benchmarks)
+	return t, nil
+}
+
+// ToScenario converts a trace back into a scripted scenario (arrivals at
+// the recorded offsets), so trace-driven runs compose with the existing
+// scenario tooling.
+func (t *Trace) ToScenario(name string) (workload.Scenario, error) {
+	sc := workload.Scenario{Name: name}
+	recs := append([]Record(nil), t.Records...)
+	sort.SliceStable(recs, func(i, j int) bool {
+		if recs[i].At != recs[j].At {
+			return recs[i].At < recs[j].At
+		}
+		return recs[i].Seq < recs[j].Seq
+	})
+	for _, r := range recs {
+		b, err := kernels.ByName(r.Bench)
+		if err != nil {
+			return workload.Scenario{}, fmt.Errorf("replay: %w", err)
+		}
+		class, err := parseClass(r.Class)
+		if err != nil {
+			return workload.Scenario{}, err
+		}
+		sc.Items = append(sc.Items, workload.Item{
+			Bench: b, Class: class, Priority: r.Priority,
+			At: time.Duration(r.At), TasksOverride: r.TasksOverride,
+		})
+	}
+	return sc, nil
+}
+
+// MixTenant describes one tenant of a synthesized multi-tenant trace: a
+// client submitting Count launches of Bench/Class at Priority, one every
+// Period with seeded jitter.
+type MixTenant struct {
+	Client   string
+	Bench    string
+	Class    string
+	Priority int
+	Weight   float64
+	Period   time.Duration
+	Count    int
+}
+
+// SynthesizeMix builds a deterministic open-loop trace from tenant specs:
+// the canonical way to produce a what-if input without a live daemon
+// (flepreplay record uses it for its two-tenant demo mix). Arrival
+// jitter is drawn from the seed, so the same specs and seed always yield
+// the identical trace.
+func SynthesizeMix(tenants []MixTenant, seed int64) (*Trace, error) {
+	t := &Trace{Header: Header{
+		Magic: true, TraceVersion: Version, Source: SourceScenario,
+		Seed: seed,
+	}}
+	rng := rand.New(rand.NewSource(seed))
+	seen := map[string]bool{}
+	for i, ten := range tenants {
+		if _, err := kernels.ByName(ten.Bench); err != nil {
+			return nil, fmt.Errorf("replay: mix tenant %d: %w", i, err)
+		}
+		if _, err := parseClass(ten.Class); err != nil {
+			return nil, fmt.Errorf("replay: mix tenant %d: %w", i, err)
+		}
+		if ten.Count <= 0 || ten.Period <= 0 {
+			return nil, fmt.Errorf("replay: mix tenant %d: need positive count and period", i)
+		}
+		if !seen[ten.Bench] {
+			seen[ten.Bench] = true
+			t.Header.Benchmarks = append(t.Header.Benchmarks, ten.Bench)
+		}
+		for k := 0; k < ten.Count; k++ {
+			jitter := time.Duration(rng.Int63n(int64(ten.Period)/4 + 1))
+			t.Records = append(t.Records, Record{
+				At:       int64(time.Duration(k)*ten.Period + jitter),
+				Device:   -1,
+				Client:   ten.Client,
+				Bench:    ten.Bench,
+				Class:    ten.Class,
+				Priority: ten.Priority,
+				Weight:   ten.Weight,
+			})
+		}
+	}
+	sort.SliceStable(t.Records, func(i, j int) bool { return t.Records[i].At < t.Records[j].At })
+	for i := range t.Records {
+		t.Records[i].Seq = int64(i + 1)
+	}
+	sort.Strings(t.Header.Benchmarks)
+	return t, nil
+}
+
+// WriteFile persists the trace as a single JSONL segment at path.
+func (t *Trace) WriteFile(path string) error {
+	rec, err := NewRecorder(path, t.Header, RecorderOptions{})
+	if err != nil {
+		return err
+	}
+	// The recorder reassigns Seq in append order; records are already in
+	// Seq order here, so the assignment is identity-preserving.
+	for _, r := range t.Records {
+		rec.Record(r)
+	}
+	return rec.Close()
+}

@@ -347,18 +347,55 @@ func (f *Fleet) SessionSnapshots() []SessionSnapshot {
 // TraceEntries merges the shards' trace logs into one time-ordered stream,
 // stamping each entry with its device index.
 func (f *Fleet) TraceEntries(kind string) []trace.Entry {
-	var out []trace.Entry
+	streams := make([][]trace.Entry, 0, len(f.shards))
 	for i, s := range f.shards {
 		tl := s.TraceLog()
 		if tl == nil {
 			continue
 		}
-		for _, e := range tl.Filter(kind) {
-			e.Device = i
-			out = append(out, e)
+		entries := tl.Filter(kind)
+		for j := range entries {
+			entries[j].Device = i
 		}
+		streams = append(streams, entries)
 	}
-	sort.SliceStable(out, func(i, j int) bool { return out[i].Time < out[j].Time })
+	return mergeTraceEntries(streams)
+}
+
+// mergeTraceEntries k-way merges per-shard trace streams into one global
+// timestamp order. Each shard's stream is already time-ordered (the
+// simulator appends monotonically), so the merge is a deterministic
+// O(n·k) head comparison with a total tie-break: equal timestamps order
+// by device index, and entries within one shard keep their append order.
+// A plain concat+sort gives the same ordering only by accident of the
+// sort's stability; the merge makes the contract explicit and holds even
+// if a caller hands it streams assembled in a different shard order.
+func mergeTraceEntries(streams [][]trace.Entry) []trace.Entry {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	// Heads walk each stream; pick the smallest (Time, Device) each round.
+	idx := make([]int, len(streams))
+	out := make([]trace.Entry, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			h, b := s[idx[i]], streams[best][idx[best]]
+			if h.Time < b.Time || (h.Time == b.Time && h.Device < b.Device) {
+				best = i
+			}
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
 	return out
 }
 

@@ -10,6 +10,8 @@ import (
 	"sync"
 	"testing"
 	"time"
+
+	"flep/internal/trace"
 )
 
 func newTestFleet(t *testing.T, cfg FleetConfig) (*Fleet, *httptest.Server) {
@@ -320,5 +322,58 @@ func TestFleetEndToEndDrainExactlyOnce(t *testing.T) {
 	code, _ := launch(t, ts.URL, LaunchRequest{Benchmark: "VA"})
 	if code != http.StatusServiceUnavailable {
 		t.Fatalf("post-drain launch code = %d, want 503", code)
+	}
+}
+
+// Regression for the /v1/trace fleet aggregation: per-shard streams must
+// merge into one global timestamp order with the documented (Time,
+// Device) tie-break and per-shard append order preserved — not merely
+// concatenate.
+func TestMergeTraceEntriesGlobalOrder(t *testing.T) {
+	e := func(dev int, at time.Duration, kind string) trace.Entry {
+		return trace.Entry{Time: at, Device: dev, Source: "runtime", Kind: kind}
+	}
+	streams := [][]trace.Entry{
+		{e(0, 10, "a"), e(0, 30, "b"), e(0, 30, "c"), e(0, 90, "d")},
+		{e(1, 5, "e"), e(1, 30, "f"), e(1, 60, "g")},
+		{}, // a shard that recorded nothing
+		{e(3, 30, "h"), e(3, 95, "i")},
+	}
+	got := mergeTraceEntries(streams)
+	var want []string
+	// t=5:e(d1); t=10:a(d0); t=30 ties by device then append order:
+	// b,c(d0), f(d1), h(d3); t=60:g; t=90:d; t=95:i.
+	for _, k := range []string{"e", "a", "b", "c", "f", "h", "g", "d", "i"} {
+		want = append(want, k)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Kind != w {
+			order := make([]string, len(got))
+			for j := range got {
+				order[j] = got[j].Kind
+			}
+			t.Fatalf("position %d: got %q, want %q (full order %v)", i, got[i].Kind, w, order)
+		}
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Time < got[i-1].Time {
+			t.Fatalf("entry %d out of time order", i)
+		}
+		if got[i].Time == got[i-1].Time && got[i].Device < got[i-1].Device {
+			t.Fatalf("entry %d violates the device tie-break", i)
+		}
+	}
+
+	// Stream order must not matter: the same shards handed over in a
+	// different slice order merge to the identical sequence.
+	shuffled := [][]trace.Entry{streams[3], streams[1], streams[0], streams[2]}
+	got2 := mergeTraceEntries(shuffled)
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("merge depends on stream order at %d: %+v vs %+v", i, got[i], got2[i])
+		}
 	}
 }

@@ -5,6 +5,7 @@ import (
 
 	"flep/internal/flepruntime"
 	"flep/internal/kernels"
+	"flep/internal/replay"
 )
 
 // launchReq is one admitted (or to-be-admitted) kernel-launch request on
@@ -109,6 +110,11 @@ func (s *Server) tryEnqueue(q *launchReq) error {
 // clock in arrival order), then advances the simulation by one event.
 func (s *Server) loop() {
 	defer close(s.loopDone)
+	if s.cfg.Recorder != nil {
+		// Runs before loopDone closes: a drained daemon's trace is readable
+		// the moment Shutdown returns, even if nobody calls Close.
+		defer func() { _ = s.cfg.Recorder.Flush() }()
+	}
 	stop := (<-chan struct{})(s.stopCh)
 	draining := false
 	paused := false
@@ -270,6 +276,13 @@ func (s *Server) admit(q *launchReq) {
 		Te:         te,
 		OnFinish:   func(fv *flepruntime.Invocation) { s.complete(q, fv) },
 	}
+	// Capture the engine position before Submit: the trace must describe
+	// the state the launch arrived into, and Submit's own scheduling may
+	// not step the engine (steps only advance in the loop), but the
+	// invariant "step exactly Step events, then submit" depends on
+	// reading the counter at the admission boundary.
+	atVirtual := s.eng.Now()
+	atStep := s.steps.Load()
 	if err := s.rt.Submit(v); err != nil {
 		s.met.SubmitErrors.Inc()
 		s.mu.Lock()
@@ -283,6 +296,26 @@ func (s *Server) admit(q *launchReq) {
 			Priority: q.priority, Device: s.cfg.Device, Err: err.Error(),
 		}
 		return
+	}
+	if rec := s.cfg.Recorder; rec != nil {
+		// Record only successful admissions: the trace is the stream of
+		// launches the runtime accepted, which is exactly what a replay
+		// re-submits (a replay-side rejection is then a divergence).
+		rec.Record(replay.Record{
+			At:            int64(atVirtual),
+			Step:          atStep,
+			Device:        s.cfg.Device,
+			Client:        q.client,
+			Bench:         q.bench.Name,
+			Class:         q.class.String(),
+			Priority:      q.priority,
+			Weight:        q.weight,
+			TasksOverride: q.tasksOverride,
+			Grid:          in.Tasks,
+			Block:         q.bench.ThreadsPerCTA,
+			WorkingSet:    v.WorkingSet,
+			Te:            int64(te),
+		})
 	}
 	s.vnow.Store(int64(s.eng.Now()))
 }

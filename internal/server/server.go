@@ -20,6 +20,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -29,6 +30,7 @@ import (
 	"flep/internal/gpu"
 	"flep/internal/kernels"
 	"flep/internal/obs"
+	"flep/internal/replay"
 	"flep/internal/sim"
 	"flep/internal/trace"
 )
@@ -36,7 +38,7 @@ import (
 // Config parameterizes a daemon instance.
 type Config struct {
 	// Policy selects the scheduling policy: "hpf" (default), "hpf-naive",
-	// or "ffs".
+	// "ffs", or "fifo" (non-preemptive baseline).
 	Policy string
 	// Spatial enables spatial preemption (HPF only).
 	Spatial bool
@@ -70,6 +72,11 @@ type Config struct {
 	// standalone daemon). It is stamped onto launch results so clients can
 	// attribute work to a device.
 	Device int
+	// Recorder, when set, captures every admitted launch into a replay
+	// trace (see internal/replay). A fleet's shards share one recorder; it
+	// is flushed when the event loop drains, so a SIGTERM'd daemon leaves
+	// a readable trace.
+	Recorder *replay.Recorder
 	// Logf, when set, receives startup progress lines.
 	Logf func(format string, args ...any)
 	// Params overrides the device model (zero value = the paper's K40).
@@ -243,6 +250,8 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 		}
 		s.ffs = f
 		policy = f
+	case "fifo":
+		policy = flepruntime.NewFIFO()
 	default:
 		return nil, fmt.Errorf("server: unknown policy %q", cfg.Policy)
 	}
@@ -270,9 +279,44 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 		},
 		Log: s.tlog,
 	})
+	if cfg.Recorder != nil && cfg.Device == 0 {
+		// One shard (by convention the first) owns the shared recorder's
+		// instrumentation, so fleet expositions carry it exactly once.
+		cfg.Recorder.Bind(s.reg)
+	}
 	s.startReal = time.Now()
 	go s.loop()
 	return s, nil
+}
+
+// RecorderHeader builds the replay trace header describing this
+// configuration, so a recording daemon stamps its trace with everything
+// a replay needs to default to "as recorded".
+func (c Config) RecorderHeader(devices int) replay.Header {
+	c.applyDefaults()
+	h := replay.Header{
+		Source:      replay.SourceFlepd,
+		Policy:      c.Policy,
+		Spatial:     c.Spatial,
+		SpatialSMs:  c.SpatialSMs,
+		MaxOverhead: c.MaxOverhead,
+		Devices:     devices,
+	}
+	if len(c.Weights) > 0 {
+		h.Weights = map[string]float64{}
+		for p, w := range c.Weights {
+			h.Weights[strconv.Itoa(p)] = w
+		}
+	}
+	if len(c.Benchmarks) == 0 {
+		for _, b := range kernels.All() {
+			h.Benchmarks = append(h.Benchmarks, b.Name)
+		}
+	} else {
+		h.Benchmarks = append(h.Benchmarks, c.Benchmarks...)
+	}
+	sort.Strings(h.Benchmarks)
+	return h
 }
 
 func resolveBenchmarks(names []string) ([]*kernels.Benchmark, error) {

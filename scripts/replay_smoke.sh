@@ -1,0 +1,66 @@
+#!/usr/bin/env bash
+# Record → replay smoke: a live flepd records its admission stream while
+# flepload drives it; flepreplay then re-drives the trace and the
+# completed-launch counts must match the live run exactly. The daemon
+# and load generator are built with -race so the smoke also gates on the
+# recorder's concurrency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:7459}"
+WORK="$(mktemp -d)"
+trap 'kill "$FLEPD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -race -o "$WORK/flepd" ./cmd/flepd
+go build -race -o "$WORK/flepload" ./cmd/flepload
+go build -o "$WORK/flepreplay" ./cmd/flepreplay
+
+"$WORK/flepd" -addr "$ADDR" -bench VA,MM -record "$WORK/run.trace" \
+    -record-rotate 16384 >"$WORK/flepd.log" 2>&1 &
+FLEPD_PID=$!
+
+for _ in $(seq 150); do
+    curl -sf "http://$ADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$ADDR/healthz" >/dev/null
+
+"$WORK/flepload" -addr "http://$ADDR" -clients 8 -n 4 -bench VA,MM \
+    -class small -seed 11 -record "$WORK/client.trace" | tee "$WORK/flepload.out"
+LIVE_OK=$(sed -n 's/^requests:[[:space:]]*ok=\([0-9]*\).*/\1/p' "$WORK/flepload.out")
+
+# SIGTERM → graceful drain; the recorder flushes before the loop exits.
+kill -TERM "$FLEPD_PID"
+wait "$FLEPD_PID"
+
+"$WORK/flepreplay" replay -trace "$WORK/run.trace" -q -json >"$WORK/replay.json"
+python3 - "$WORK/replay.json" "$LIVE_OK" <<'EOF'
+import json, sys
+sum_ = json.load(open(sys.argv[1]))
+live = int(sys.argv[2])
+problems = []
+if sum_["completed"] != live:
+    problems.append(f'replay completed {sum_["completed"]} != live {live}')
+if sum_["records"] != live:
+    problems.append(f'trace recorded {sum_["records"]} != live {live}')
+if sum_["mode"] != "exact":
+    problems.append(f'replay mode {sum_["mode"]} != exact')
+div = sum_["divergence"]
+if any(div.values()):
+    problems.append(f"replay diverged: {div}")
+if problems:
+    sys.exit("replay smoke FAILED:\n  " + "\n  ".join(problems))
+print(f"replay smoke OK: {live} launches recorded, replayed exactly (mode={sum_['mode']})")
+EOF
+
+# The client-side trace (wall-clock offsets) replays in timed mode and
+# must still complete every recorded launch.
+"$WORK/flepreplay" replay -trace "$WORK/client.trace" -q -json >"$WORK/client-replay.json"
+python3 - "$WORK/client-replay.json" "$LIVE_OK" <<'EOF'
+import json, sys
+sum_ = json.load(open(sys.argv[1]))
+live = int(sys.argv[2])
+if sum_["mode"] != "timed" or sum_["records"] != live or sum_["completed"] != live:
+    sys.exit(f'client-trace smoke FAILED: mode={sum_["mode"]} records={sum_["records"]} completed={sum_["completed"]} live={live}')
+print(f"client-trace smoke OK: {live} launches replayed in timed mode")
+EOF
