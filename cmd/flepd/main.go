@@ -95,7 +95,7 @@ func main() {
 	var recorder *replay.Recorder
 	if *recordPath != "" {
 		recorder, err = replay.NewRecorder(*recordPath, cfg.Config.RecorderHeader(*devices),
-			replay.RecorderOptions{RotateBytes: *recordRotate})
+			replay.RecorderOptions{RotateBytes: *recordRotate, WallClock: time.Now})
 		if err != nil {
 			log.Fatalf("flepd: %v", err)
 		}

@@ -18,6 +18,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"sort"
 	"strconv"
 	"strings"
 	"time"
@@ -47,7 +48,13 @@ func main() {
 		fatalf("%s: %v", name, err)
 	}
 	fmt.Fprintf(os.Stderr, "fleprun: compiled %d kernel(s):\n", len(prog.Kernels))
-	for kname, k := range prog.Kernels {
+	knames := make([]string, 0, len(prog.Kernels))
+	for kname := range prog.Kernels {
+		knames = append(knames, kname)
+	}
+	sort.Strings(knames)
+	for _, kname := range knames {
+		k := prog.Kernels[kname]
 		fmt.Fprintf(os.Stderr, "  %-12s occupancy %d CTAs/SM, est. task cost %v, tuned L=%d\n",
 			kname, k.Profile.CTAsPerSM, k.TaskCost, k.L)
 	}

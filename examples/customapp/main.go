@@ -8,6 +8,7 @@ package main
 import (
 	"fmt"
 	"log"
+	"sort"
 	"time"
 
 	"flep"
@@ -51,7 +52,13 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	for name, k := range prog.Kernels {
+	names := make([]string, 0, len(prog.Kernels))
+	for name := range prog.Kernels {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		k := prog.Kernels[name]
 		fmt.Printf("compiled %-9s task-cost≈%-8v tuned L=%d\n", name, k.TaskCost, k.L)
 	}
 

@@ -127,6 +127,7 @@ func (tc *threadCtx) evalAtomic(x *Call, op func(old, d Value) Value) (Value, er
 	if err != nil {
 		return Value{}, rtErr(x.Pos, "%v", err)
 	}
+	//flepvet:allow lockheld -- op is a pure arithmetic combine; running it under atomicMu IS the simulated atomicity
 	if err := ptr.P.Buf.Store(ptr.P.Off, op(old, d)); err != nil {
 		return Value{}, rtErr(x.Pos, "%v", err)
 	}

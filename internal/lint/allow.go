@@ -1,0 +1,102 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"regexp"
+	"strings"
+
+	"flep/internal/lint/analysis"
+)
+
+// The escape hatch. A finding is deliberate — the server boundary reads
+// the wall clock, a send is provably non-blocking — exactly when a
+// comment says so:
+//
+//	//flepvet:allow wallclock -- flepd stamps real arrival times at the boundary
+//
+// The annotation names one or more categories (comma-separated) and
+// MUST carry a reason after ` -- `; an annotation without a reason is
+// itself a diagnostic, so the suite's acceptance bar ("every allow has
+// a reason") is machine-checked rather than reviewed. An annotation
+// suppresses matching findings on its own line and on the line below
+// it (comment-above-statement style).
+var allowRE = regexp.MustCompile(`^//flepvet:allow\s+([a-z][a-z0-9_,]*)\s*(?:--\s*(.*))?$`)
+
+// allowEntry is one parsed annotation.
+type allowEntry struct {
+	categories map[string]bool
+	line       int
+	file       string
+}
+
+// allowIndex locates annotations by (file, line).
+type allowIndex struct {
+	entries []allowEntry
+}
+
+// suppressed reports whether a finding at pos with the category is
+// covered by an annotation on its line or the line above.
+func (ai *allowIndex) suppressed(pos token.Position, category string) bool {
+	for _, e := range ai.entries {
+		if e.file != pos.Filename {
+			continue
+		}
+		if (e.line == pos.Line || e.line == pos.Line-1) && e.categories[category] {
+			return true
+		}
+	}
+	return false
+}
+
+// collectAllows parses every flepvet:allow annotation in the files and
+// diagnoses malformed ones (missing reason, unknown category).
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) (*allowIndex, []analysis.Diagnostic) {
+	idx := &allowIndex{}
+	var diags []analysis.Diagnostic
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimSpace(c.Text)
+				if !strings.HasPrefix(text, "//flepvet:allow") {
+					continue
+				}
+				m := allowRE.FindStringSubmatch(text)
+				if m == nil {
+					diags = append(diags, analysis.Diagnostic{
+						Pos: c.Pos(), Category: "allowform",
+						Message: "malformed flepvet:allow annotation (want `//flepvet:allow <category>[,<category>] -- reason`)",
+					})
+					continue
+				}
+				if strings.TrimSpace(m[2]) == "" {
+					diags = append(diags, analysis.Diagnostic{
+						Pos: c.Pos(), Category: "allowform",
+						Message: "flepvet:allow annotation is missing its reason (append ` -- <why this is safe>`)",
+					})
+					continue
+				}
+				cats := map[string]bool{}
+				for _, cat := range strings.Split(m[1], ",") {
+					cat = strings.TrimSpace(cat)
+					if cat == "" {
+						continue
+					}
+					if !known[cat] {
+						diags = append(diags, analysis.Diagnostic{
+							Pos: c.Pos(), Category: "allowform",
+							Message: "flepvet:allow names unknown category " + cat,
+						})
+						continue
+					}
+					cats[cat] = true
+				}
+				pos := fset.Position(c.Pos())
+				idx.entries = append(idx.entries, allowEntry{
+					categories: cats, line: pos.Line, file: pos.Filename,
+				})
+			}
+		}
+	}
+	return idx, diags
+}

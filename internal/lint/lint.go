@@ -1,0 +1,166 @@
+// Package lint is flepvet's analyzer suite: five checkers that
+// mechanically enforce the contracts the FLEP reproduction's tests can
+// only spot-check — the determinism contract (a recorded run replays
+// bit-for-bit), the single-threaded event-loop discipline, the
+// PR 2/PR 3 lock-ordering fix classes, and the obs metrics hygiene
+// rules. The suite runs standalone (`flepvet ./...`), under `go vet
+// -vettool`, and inside `go test` (see selftest_test.go), all through
+// the same driver so the three entry points cannot drift.
+package lint
+
+import (
+	"fmt"
+	"go/token"
+	"sort"
+
+	"flep/internal/lint/analysis"
+	"flep/internal/lint/loader"
+)
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []*analysis.Analyzer {
+	return []*analysis.Analyzer{
+		DeterminismAnalyzer,
+		MapOrderAnalyzer,
+		LoopPurityAnalyzer,
+		LockDisciplineAnalyzer,
+		MetricHygieneAnalyzer,
+	}
+}
+
+// AnalyzerNames returns the suite's names (flag help, CLI validation).
+func AnalyzerNames() []string {
+	var out []string
+	for _, a := range Analyzers() {
+		out = append(out, a.Name)
+	}
+	return out
+}
+
+// knownCategories is the union of every analyzer's categories; allow
+// annotations naming anything else are themselves diagnosed.
+func knownCategories() map[string]bool {
+	known := map[string]bool{}
+	for _, a := range Analyzers() {
+		for _, c := range a.Categories {
+			known[c] = true
+		}
+	}
+	return known
+}
+
+// Finding is one resolved (position-rendered) diagnostic.
+type Finding struct {
+	Pos      token.Position
+	Analyzer string
+	Category string
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: [%s/%s] %s", f.Pos, f.Analyzer, f.Category, f.Message)
+}
+
+// Run loads the packages matched by patterns under dir and applies the
+// analyzers. Returned findings are allow-filtered and position-sorted.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, dir, patterns, analysis.NewInfo)
+	if err != nil {
+		return nil, err
+	}
+	return RunPackages(fset, pkgs, analyzers)
+}
+
+// RunPackages applies the analyzers to already-loaded packages: the
+// shared core of the CLI, the vettool shim, and the fixture harness.
+func RunPackages(fset *token.FileSet, pkgs []*loader.Package, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	known := knownCategories()
+	var findings []Finding
+	results := map[*analysis.Analyzer][]analysis.Result{}
+	allAllows := &allowIndex{}
+
+	for _, pkg := range pkgs {
+		allows, allowDiags := collectAllows(fset, pkg.Files, known)
+		allAllows.entries = append(allAllows.entries, allows.entries...)
+		for _, d := range allowDiags {
+			findings = append(findings, Finding{
+				Pos: fset.Position(d.Pos), Analyzer: "flepvet",
+				Category: d.Category, Message: d.Message,
+			})
+		}
+		for _, a := range analyzers {
+			var diags []analysis.Diagnostic
+			pass := analysis.NewPass(a, fset, pkg.Files, pkg.Types, pkg.Info,
+				func(d analysis.Diagnostic) { diags = append(diags, d) })
+			val, err := a.Run(pass)
+			if err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.PkgPath, err)
+			}
+			if val != nil {
+				results[a] = append(results[a], analysis.Result{PkgPath: pkg.PkgPath, Value: val})
+			}
+			for _, d := range diags {
+				pos := fset.Position(d.Pos)
+				if allows.suppressed(pos, d.Category) {
+					continue
+				}
+				findings = append(findings, Finding{
+					Pos: pos, Analyzer: a.Name, Category: d.Category, Message: d.Message,
+				})
+			}
+		}
+	}
+
+	// Cross-package rules (metric families registered in several places).
+	for _, a := range analyzers {
+		if a.Finish == nil {
+			continue
+		}
+		a.Finish(results[a], func(d analysis.Diagnostic) {
+			pos := fset.Position(d.Pos)
+			if allAllows.suppressed(pos, d.Category) {
+				return
+			}
+			findings = append(findings, Finding{
+				Pos: pos, Analyzer: a.Name,
+				Category: d.Category, Message: d.Message,
+			})
+		})
+	}
+
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i], findings[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Message < b.Message
+	})
+	return findings, nil
+}
+
+// Select resolves a comma-separated analyzer name list ("" = all).
+func Select(names []string) ([]*analysis.Analyzer, error) {
+	if len(names) == 0 {
+		return Analyzers(), nil
+	}
+	byName := map[string]*analysis.Analyzer{}
+	for _, a := range Analyzers() {
+		byName[a.Name] = a
+	}
+	var out []*analysis.Analyzer
+	for _, n := range names {
+		a := byName[n]
+		if a == nil {
+			return nil, fmt.Errorf("unknown analyzer %q (have %v)", n, AnalyzerNames())
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}

@@ -1,0 +1,165 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"flep/internal/lint/analysis"
+)
+
+// LockDisciplineAnalyzer flags work done while a sync.Mutex/RWMutex is
+// held that can block or re-enter: channel sends, invocations of
+// function values (callbacks — the PR 2 deadlock class, where a
+// callback fired under the registry lock tried to take it again), and
+// network / ResponseWriter I/O. The fix idiom this enforces is the one
+// the codebase already uses: lock, copy, unlock, then send/call/render.
+var LockDisciplineAnalyzer = &analysis.Analyzer{
+	Name:       "lockdiscipline",
+	Doc:        "forbid channel sends, callback invocations, and I/O while holding a mutex",
+	Categories: []string{"lockheld"},
+	Run:        runLockDiscipline,
+}
+
+func runLockDiscipline(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				if fn.Body != nil {
+					checkLockedRegions(pass, fn.Body)
+				}
+			case *ast.FuncLit:
+				// Walked as its own scope; keep descending so literals
+				// nested inside it are also picked up here.
+				checkLockedRegions(pass, fn.Body)
+			}
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkLockedRegions walks one function body in source order keeping a
+// set of held mutexes (keyed by the rendered receiver expression, e.g.
+// "r.mu"). An explicit Unlock statement releases; a deferred Unlock
+// does not (it runs at return, so everything after the Lock is a
+// critical section). The walk is linear rather than path-sensitive —
+// good enough for the straight-line lock/copy/unlock idiom this
+// codebase uses, and deliberately conservative elsewhere.
+func checkLockedRegions(pass *analysis.Pass, body *ast.BlockStmt) {
+	held := map[string]bool{}
+	heldCount := 0
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false // separate scope, walked by the caller
+			}
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the region open; nothing to do.
+			// But a deferred callback while holding is still a risk only
+			// at return time — out of scope for a linear walk.
+			return false
+		case *ast.CallExpr:
+			if key, kind := mutexLockCall(pass, n); key != "" {
+				switch kind {
+				case "Lock", "RLock":
+					if !held[key] {
+						held[key] = true
+						heldCount++
+					}
+				case "Unlock", "RUnlock":
+					if held[key] {
+						delete(held, key)
+						heldCount--
+					}
+				}
+				return true
+			}
+			if heldCount == 0 {
+				return true
+			}
+			if reason := blockingWhileLocked(pass, n); reason != "" {
+				pass.Reportf(n.Pos(), "lockheld",
+					"%s while holding %s; release the lock first (lock, copy, unlock, then act)",
+					reason, anyHeld(held))
+			}
+		case *ast.SendStmt:
+			// A send guarded by select-with-default cannot block, so it
+			// cannot extend the critical section.
+			if heldCount > 0 && !sendInSelectWithDefault(pass, body, n) {
+				pass.Reportf(n.Pos(), "lockheld",
+					"channel send while holding %s can deadlock against the receiver; release the lock first",
+					anyHeld(held))
+			}
+		case *ast.GoStmt:
+			return false // the goroutine body runs without our locks
+		}
+		return true
+	})
+}
+
+// anyHeld names one held mutex for the message (deterministically:
+// lexicographically smallest key).
+func anyHeld(held map[string]bool) string {
+	best := ""
+	for k := range held {
+		if best == "" || k < best {
+			best = k
+		}
+	}
+	return best
+}
+
+// blockingWhileLocked classifies a call that must not run under a
+// lock; returns "" if the call is benign.
+func blockingWhileLocked(pass *analysis.Pass, call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		obj := pass.TypesInfo.Uses[fun]
+		if v, ok := obj.(*types.Var); ok {
+			if _, isFn := v.Type().Underlying().(*types.Signature); isFn {
+				return "invoking function value " + fun.Name
+			}
+		}
+	case *ast.SelectorExpr:
+		obj := pass.TypesInfo.Uses[fun.Sel]
+		switch obj := obj.(type) {
+		case *types.Var:
+			// A func-typed field or variable: a callback we don't control.
+			if _, isFn := obj.Type().Underlying().(*types.Signature); isFn {
+				return "invoking callback " + fun.Sel.Name
+			}
+		case *types.Func:
+			if obj.Pkg() == nil {
+				return ""
+			}
+			switch obj.Pkg().Path() {
+			case "net", "net/http":
+				return "calling " + obj.Pkg().Name() + "." + obj.Name()
+			}
+			// Writes on an http.ResponseWriter render to the client
+			// while locked.
+			if sig, ok := obj.Type().(*types.Signature); ok && sig.Recv() != nil {
+				if isResponseWriter(pass.TypesInfo.TypeOf(fun.X)) &&
+					(obj.Name() == "Write" || obj.Name() == "WriteHeader" || obj.Name() == "WriteString") {
+					return "writing the HTTP response"
+				}
+			}
+		}
+	}
+	return ""
+}
+
+func isResponseWriter(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj != nil && obj.Pkg() != nil &&
+		obj.Pkg().Path() == "net/http" && obj.Name() == "ResponseWriter"
+}

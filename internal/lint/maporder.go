@@ -1,0 +1,197 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"flep/internal/lint/analysis"
+)
+
+// MapOrderAnalyzer flags `range` over a map whose body feeds an
+// order-sensitive sink: appending to a slice declared outside the loop
+// (unless the slice is sorted later in the same function), printing,
+// writing to a writer/builder, or feeding an encoder or hash. This is
+// the exact bug class that breaks byte-identical Summary/what-if
+// output — Go randomizes map iteration order on purpose, so any output
+// assembled in that order differs run to run.
+var MapOrderAnalyzer = &analysis.Analyzer{
+	Name:       "maporder",
+	Doc:        "flag map iteration feeding ordered output without an intervening sort",
+	Categories: []string{"maporder"},
+	Run:        runMapOrder,
+}
+
+func runMapOrder(pass *analysis.Pass) (any, error) {
+	for _, f := range pass.Files {
+		// Walk function by function so "is it sorted later?" has a scope
+		// to search.
+		ast.Inspect(f, func(n ast.Node) bool {
+			var body *ast.BlockStmt
+			switch fn := n.(type) {
+			case *ast.FuncDecl:
+				body = fn.Body
+			case *ast.FuncLit:
+				body = fn.Body
+			default:
+				return true
+			}
+			if body == nil {
+				return true
+			}
+			checkMapRanges(pass, body)
+			return true
+		})
+	}
+	return nil, nil
+}
+
+// checkMapRanges finds map-ranges directly inside fnBody (not inside
+// nested function literals, which are walked as their own functions).
+func checkMapRanges(pass *analysis.Pass, fnBody *ast.BlockStmt) {
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok && n.Pos() != fnBody.Pos() {
+			return false // separate function scope
+		}
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		t := pass.TypesInfo.TypeOf(rs.X)
+		if t == nil {
+			return true
+		}
+		if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkMapRangeBody(pass, fnBody, rs)
+		return true
+	})
+}
+
+func checkMapRangeBody(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		// A function literal built inside the loop runs when invoked,
+		// not per-iteration: appends/writes in a callback body take
+		// their order from the call site, not from the map.
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			for i, rhs := range n.Rhs {
+				call, ok := rhs.(*ast.CallExpr)
+				if !ok || !isBuiltinAppend(pass, call) || i >= len(n.Lhs) {
+					continue
+				}
+				target, ok := n.Lhs[i].(*ast.Ident)
+				if !ok {
+					continue
+				}
+				obj := pass.TypesInfo.Uses[target]
+				if obj == nil {
+					obj = pass.TypesInfo.Defs[target]
+				}
+				// Only slices that outlive the loop leak its order.
+				if obj == nil || obj.Pos() >= rs.Pos() {
+					continue
+				}
+				if sortedAfter(pass, fnBody, rs, obj) {
+					continue
+				}
+				pass.Reportf(n.Pos(), "maporder",
+					"append to %s inside map iteration leaks nondeterministic order (no sort of %s follows in this function); sort it or collect keys first",
+					target.Name, target.Name)
+			}
+		case *ast.CallExpr:
+			if sink, name := outputSink(pass, n); sink {
+				pass.Reportf(n.Pos(), "maporder",
+					"%s inside map iteration emits output in nondeterministic order; iterate sorted keys instead",
+					name)
+			}
+		}
+		return true
+	})
+}
+
+func isBuiltinAppend(pass *analysis.Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	b, ok := pass.TypesInfo.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+// sortedAfter reports whether the function body contains, after the
+// range statement, a call into sort or slices that mentions obj — the
+// canonical collect-then-sort idiom.
+func sortedAfter(pass *analysis.Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, obj types.Object) bool {
+	found := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return true
+		}
+		if p := fn.Pkg().Path(); p != "sort" && p != "slices" {
+			return true
+		}
+		for _, arg := range call.Args {
+			if mentions(pass, arg, obj) {
+				found = true
+				return false
+			}
+		}
+		return true
+	})
+	return found
+}
+
+func mentions(pass *analysis.Pass, e ast.Expr, obj types.Object) bool {
+	hit := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == obj {
+			hit = true
+			return false
+		}
+		return true
+	})
+	return hit
+}
+
+// outputSink classifies calls that serialize in call order: fmt
+// printing, writer/builder writes, and encoder/hash feeds.
+func outputSink(pass *analysis.Pass, call *ast.CallExpr) (bool, string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false, ""
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false, ""
+	}
+	if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+		name := fn.Name()
+		if strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint") {
+			return true, "fmt." + name
+		}
+	}
+	if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+		switch fn.Name() {
+		case "Write", "WriteString", "WriteByte", "WriteRune", "Encode":
+			return true, fn.Name()
+		}
+	}
+	return false, ""
+}

@@ -1,0 +1,39 @@
+// Package lockheld exercises the lockdiscipline analyzer.
+package lockheld
+
+import "sync"
+
+// Hub fans events out to subscribers.
+type Hub struct {
+	mu      sync.Mutex
+	subs    []chan int
+	onEvict func(int)
+}
+
+// BroadcastBad sends on subscriber channels with the lock held: a slow
+// receiver wedges every other Hub method.
+func (h *Hub) BroadcastBad(v int) {
+	h.mu.Lock()
+	for _, ch := range h.subs {
+		ch <- v // want `lockheld channel send while holding h\.mu`
+	}
+	h.mu.Unlock()
+}
+
+// EvictBad invokes a caller-owned callback under the lock (the defer
+// keeps the critical section open to the end of the function).
+func (h *Hub) EvictBad(v int) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	h.onEvict(v) // want `lockheld invoking callback onEvict`
+}
+
+// BroadcastGood is the sanctioned lock/copy/unlock idiom.
+func (h *Hub) BroadcastGood(v int) {
+	h.mu.Lock()
+	subs := append([]chan int(nil), h.subs...)
+	h.mu.Unlock()
+	for _, ch := range subs {
+		ch <- v
+	}
+}

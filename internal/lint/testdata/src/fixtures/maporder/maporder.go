@@ -1,0 +1,44 @@
+// Package maporder exercises the map-iteration-order analyzer.
+package maporder
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// LeakOrder appends map keys in iteration order and never sorts: the
+// returned slice differs run to run.
+func LeakOrder(m map[string]int) []string {
+	var out []string
+	for k := range m {
+		out = append(out, k) // want `maporder append to out inside map iteration`
+	}
+	return out
+}
+
+// PrintOrder emits output directly from the iteration.
+func PrintOrder(w io.Writer, m map[string]int) {
+	for k, v := range m {
+		fmt.Fprintf(w, "%s=%d\n", k, v) // want `maporder fmt\.Fprintf inside map iteration`
+	}
+}
+
+// SortedAfter is the sanctioned collect-then-sort idiom.
+func SortedAfter(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// SumOnly folds commutatively; order cannot leak.
+func SumOnly(m map[string]int) int {
+	total := 0
+	for _, v := range m {
+		total += v
+	}
+	return total
+}

@@ -1,0 +1,33 @@
+// Package fixturesrv exercises the looppurity analyzer's server
+// roots: methods named loop/admit/complete run on the loop goroutine,
+// and a mutex they share with handler-side code can stall the loop.
+package fixturesrv
+
+import "sync"
+
+// Server has one mutex shared with handlers and one private to the
+// loop.
+type Server struct {
+	mu     sync.Mutex // also taken by Snapshot (handler side)
+	loopMu sync.Mutex // taken only on the loop goroutine
+	n      int
+}
+
+// loop is rooted by name in internal/server packages.
+func (s *Server) loop() {
+	s.mu.Lock() // want `sharedlock s\.mu\.Lock`
+	s.n++
+	s.mu.Unlock()
+
+	s.loopMu.Lock() // loop-private: clean
+	s.n++
+	s.loopMu.Unlock()
+}
+
+// Snapshot runs on handler goroutines and takes the shared mutex,
+// which is what makes s.mu contended from the loop's point of view.
+func (s *Server) Snapshot() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.n
+}

@@ -1,0 +1,43 @@
+// Package fixturedet exercises the determinism analyzer: its import
+// path sits under flep/internal/sim, so the deterministic contract
+// applies in full.
+package fixturedet
+
+import (
+	"math/rand"
+	"os"
+	"time"
+)
+
+// Stamp leaks wall-clock time into deterministic state.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `wallclock time\.Now reads the wall clock`
+}
+
+// Elapsed measures against the real clock.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start) // want `wallclock time\.Since reads the wall clock`
+}
+
+// Jitter draws from the process-global source.
+func Jitter() int {
+	return rand.Intn(10) // want `rand rand\.Intn draws from the process-global source`
+}
+
+// Mode depends on ambient environment.
+func Mode() string {
+	return os.Getenv("FLEP_MODE") // want `env os\.Getenv makes deterministic package`
+}
+
+// Seeded is the sanctioned pattern: the seed threads in explicitly and
+// draws go through a *rand.Rand method, which is not flagged.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Budget shows that time.Duration values are fine — the virtual
+// clock's currency is Duration, only clock reads are banned.
+func Budget() time.Duration {
+	return 3 * time.Millisecond
+}

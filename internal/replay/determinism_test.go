@@ -1,0 +1,89 @@
+package replay
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// These tests pin the on-disk side of the byte-identical trace
+// contract that flepvet's determinism analyzer enforces at the source
+// level: without an injected WallClock, everything the recorder writes
+// — header included — is a pure function of (records, header, seed).
+// (TestReplaySummaryByteIdentical covers the replay-output side.)
+
+// TestWriteFileByteIdentical synthesizes the same mix twice and writes
+// both traces to disk: the files must match byte for byte.
+func TestWriteFileByteIdentical(t *testing.T) {
+	dir := t.TempDir()
+	var blobs [][]byte
+	for _, name := range []string{"a.jsonl", "b.jsonl"} {
+		tr, err := SynthesizeMix(mixTenants(), 42)
+		if err != nil {
+			t.Fatalf("SynthesizeMix: %v", err)
+		}
+		path := filepath.Join(dir, name)
+		if err := tr.WriteFile(path); err != nil {
+			t.Fatalf("WriteFile: %v", err)
+		}
+		b, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blobs = append(blobs, b)
+	}
+	if !bytes.Equal(blobs[0], blobs[1]) {
+		t.Fatalf("same seed produced different trace bytes:\n--- a ---\n%s\n--- b ---\n%s", blobs[0], blobs[1])
+	}
+	// A deterministic trace carries no wall-clock residue: both fields
+	// are omitempty, so neither key may appear at all.
+	for _, key := range []string{"wall_ns", "created_unix_ms"} {
+		if strings.Contains(string(blobs[0]), key) {
+			t.Errorf("deterministic trace contains %s:\n%s", key, blobs[0])
+		}
+	}
+}
+
+// TestRecorderWallClockInjection proves the daemon boundary still gets
+// real timestamps when it asks for them: an injected clock stamps the
+// header's CreatedUnixMS and the per-record Wall offsets.
+func TestRecorderWallClockInjection(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "wall.jsonl")
+	base := time.UnixMilli(1_700_000_000_000)
+	ticks := time.Duration(0)
+	clock := func() time.Time {
+		ticks += time.Millisecond
+		return base.Add(ticks)
+	}
+	rec, err := NewRecorder(path, testHeader(), RecorderOptions{WallClock: clock})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	if got, want := rec.hdr.CreatedUnixMS, base.Add(time.Millisecond).UnixMilli(); got != want {
+		t.Errorf("CreatedUnixMS = %d, want %d (stamped from the injected clock)", got, want)
+	}
+	if !rec.Record(Record{Client: "c", Bench: "VA", Class: "small"}) {
+		t.Fatal("Record dropped")
+	}
+	if err := rec.Close(); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := LoadFile(path)
+	if err != nil {
+		t.Fatalf("LoadFile: %v", err)
+	}
+	if len(tr.Records) != 1 {
+		t.Fatalf("got %d records, want 1", len(tr.Records))
+	}
+	// The record's Wall is the second clock sample's offset from the
+	// first (the epoch).
+	if want := int64(time.Millisecond); tr.Records[0].Wall != want {
+		t.Errorf("Wall = %d, want %d", tr.Records[0].Wall, want)
+	}
+	if tr.Header.CreatedUnixMS != base.Add(time.Millisecond).UnixMilli() {
+		t.Errorf("persisted CreatedUnixMS = %d, want the injected stamp", tr.Header.CreatedUnixMS)
+	}
+}

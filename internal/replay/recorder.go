@@ -20,6 +20,13 @@ type RecorderOptions struct {
 	// BufferBytes sizes the write buffer (default 64 KiB). Records are
 	// buffered, not fsync'd: Flush pushes them to the OS, Close finalizes.
 	BufferBytes int
+	// WallClock supplies real time for the header's CreatedUnixMS stamp
+	// and the per-record Wall offsets. The replay package itself never
+	// reads the wall clock — that would break the byte-identical trace
+	// contract — so the daemon boundary injects time.Now here. When nil
+	// the trace is fully deterministic: CreatedUnixMS is whatever the
+	// caller put in the header (normally 0) and every Wall offset is 0.
+	WallClock func() time.Time
 }
 
 // Recorder appends admitted launches to a trace file. It is safe for
@@ -50,15 +57,20 @@ type Recorder struct {
 }
 
 // NewRecorder opens (truncating) a trace file at path and writes the
-// header. The header's Magic/TraceVersion/CreatedUnixMS are filled in.
+// header. The header's Magic and TraceVersion are filled in;
+// CreatedUnixMS is stamped only when opts.WallClock is set.
 func NewRecorder(path string, hdr Header, opts RecorderOptions) (*Recorder, error) {
 	if opts.BufferBytes <= 0 {
 		opts.BufferBytes = 64 << 10
 	}
 	hdr.Magic = true
 	hdr.TraceVersion = Version
-	hdr.CreatedUnixMS = time.Now().UnixMilli()
-	r := &Recorder{path: path, opts: opts, hdr: hdr, epoch: time.Now()}
+	r := &Recorder{path: path, opts: opts, hdr: hdr}
+	if opts.WallClock != nil {
+		now := opts.WallClock()
+		r.hdr.CreatedUnixMS = now.UnixMilli()
+		r.epoch = now
+	}
 	if err := r.openSegment(); err != nil {
 		return nil, err
 	}
@@ -125,6 +137,12 @@ func (r *Recorder) rotate() error {
 // and reports whether the record was persisted (false = dropped, with
 // the drop counted).
 func (r *Recorder) Record(rec Record) bool {
+	// Sample the clock before locking: the injected WallClock is outside
+	// code, and r.epoch is immutable after construction.
+	var wall int64
+	if r.opts.WallClock != nil {
+		wall = r.opts.WallClock().Sub(r.epoch).Nanoseconds()
+	}
 	r.mu.Lock()
 	defer r.mu.Unlock()
 	if r.closed {
@@ -133,7 +151,7 @@ func (r *Recorder) Record(rec Record) bool {
 	}
 	r.seq++
 	rec.Seq = r.seq
-	rec.Wall = time.Since(r.epoch).Nanoseconds()
+	rec.Wall = wall
 	line, err := json.Marshal(rec)
 	if err != nil {
 		r.dropped.Inc()

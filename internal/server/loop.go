@@ -285,12 +285,14 @@ func (s *Server) admit(q *launchReq) {
 	atStep := s.steps.Load()
 	if err := s.rt.Submit(v); err != nil {
 		s.met.SubmitErrors.Inc()
+		//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
 		s.mu.Lock()
 		s.c.SubmitErrors++
 		if sess := s.sessions[q.client]; sess != nil {
 			sess.SubmitErrors++
 		}
 		s.mu.Unlock()
+		//flepvet:allow blockingsend -- q.done is per-request with capacity 1 (http.go) and sees exactly one send
 		q.done <- LaunchResult{
 			Client: q.client, Kernel: q.bench.Name, Class: q.class.String(),
 			Priority: q.priority, Device: s.cfg.Device, Err: err.Error(),
@@ -346,11 +348,13 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 		}
 	}
 	s.met.Completed.Inc()
+	//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
 	s.mu.Lock()
 	s.c.Completed++
 	if sess := s.sessions[q.client]; sess != nil {
 		sess.noteCompletion(res)
 	}
 	s.mu.Unlock()
+	//flepvet:allow blockingsend -- q.done is per-request with capacity 1 (http.go) and sees exactly one send
 	q.done <- res
 }

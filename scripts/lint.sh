@@ -1,0 +1,27 @@
+#!/usr/bin/env bash
+# Build flepvet and run the FLEP analyzer suite over the whole module.
+# This is the single lint entrypoint: CI runs it as a blocking step and
+# developers run it locally before pushing. Two passes:
+#
+#   1. standalone (`flepvet ./...`) — whole-program, so metrichygiene's
+#      cross-package family checks see every registration site at once;
+#   2. `go vet -vettool` — the unitchecker protocol, which additionally
+#      analyzes _test.go files and proves the vet integration works.
+#
+# Exit nonzero on any finding. Suppressions are //flepvet:allow with a
+# mandatory reason (see DESIGN.md §11).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FLEPVET="$(mktemp -d)/flepvet"
+trap 'rm -rf "$(dirname "$FLEPVET")"' EXIT
+
+go build -o "$FLEPVET" ./cmd/flepvet
+
+echo "==> flepvet ./... (standalone, cross-package)"
+"$FLEPVET" ./...
+
+echo "==> go vet -vettool=flepvet ./... (unitchecker, includes tests)"
+go vet -vettool="$FLEPVET" ./...
+
+echo "lint: clean"
