@@ -22,7 +22,8 @@
 //	GET  /v1/trace      runtime+device event log (with -trace)
 //	POST /v1/pause      park the scheduler (arrivals queue up)
 //	POST /v1/resume     unpark
-//	GET  /healthz       liveness (503 while draining)
+//	GET  /healthz       pure liveness (200 while the process serves)
+//	GET  /readyz        readiness for routing (503 while draining)
 //	GET  /metrics       Prometheus text exposition (runtime, device,
 //	                    policy, and server metric families)
 //

@@ -11,6 +11,12 @@
 //	flepload -addr http://127.0.0.1:7450 -clients 100 -n 10 \
 //	         -bench VA,MM -class small -prio 1=0.7,2=0.3
 //
+// -addr may also point at a flepgw gateway: the surface is identical,
+// results carry an X-Flep-Node header naming the serving node (so
+// exactly-once verification keys on (node, device, id)), and the
+// node-labeled /metrics exposition yields a per-node throughput/ANTT
+// breakdown in the delta report.
+//
 // -rate 0 (default) runs closed-loop clients: each client submits its
 // next launch as soon as the previous one completes. A positive -rate
 // runs open-loop: each client submits every 1/rate seconds regardless of
@@ -76,10 +82,13 @@ type benchInfo struct {
 	Name string `json:"name"`
 }
 
-// sample is one completed request as seen by a client.
+// sample is one completed request as seen by a client. node is the
+// serving node from the gateway's X-Flep-Node header (empty when the
+// target is a single flepd).
 type sample struct {
 	id          int
 	device      int
+	node        string
 	realLatency time.Duration
 	turnaround  time.Duration
 	waiting     time.Duration
@@ -97,17 +106,18 @@ type stats struct {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:7450", "flepd base URL")
-		clients  = flag.Int("clients", 100, "concurrent client sessions")
-		perC     = flag.Int("n", 10, "launches per client")
-		rate     = flag.Float64("rate", 0, "per-client open-loop launches/sec (0 = closed loop)")
-		benchCSV = flag.String("bench", "", "benchmarks to launch (empty = discover from daemon)")
-		class    = flag.String("class", "small", "input class: large, small, trivial")
-		prioMix  = flag.String("prio", "1=0.5,2=0.5", "priority mix, e.g. 1=0.7,2=0.3")
-		timeout  = flag.Duration("timeout", 2*time.Minute, "per-request completion wait")
-		seed     = flag.Int64("seed", 1, "workload-mix random seed")
-		maxRetry = flag.Int("max-retries", 200, "max 429 retries per launch")
-		record   = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
+		addr      = flag.String("addr", "http://127.0.0.1:7450", "flepd base URL")
+		clients   = flag.Int("clients", 100, "concurrent client sessions")
+		perC      = flag.Int("n", 10, "launches per client")
+		rate      = flag.Float64("rate", 0, "per-client open-loop launches/sec (0 = closed loop)")
+		benchCSV  = flag.String("bench", "", "benchmarks to launch (empty = discover from daemon)")
+		class     = flag.String("class", "small", "input class: large, small, trivial")
+		prioMix   = flag.String("prio", "1=0.5,2=0.5", "priority mix, e.g. 1=0.7,2=0.3")
+		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request completion wait")
+		seed      = flag.Int64("seed", 1, "workload-mix random seed")
+		maxRetry  = flag.Int("max-retries", 200, "max 429 retries per launch")
+		record    = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
+		verifySrv = flag.Bool("verify-status", true, "reconcile server /v1/status counters after the run (disable when a cluster node is killed mid-run: the dead node's completions leave the gateway's summed view)")
 	)
 	flag.Parse()
 
@@ -179,11 +189,15 @@ func main() {
 	}
 
 	report(st, wall)
-	if err := verifyExactlyOnce(*addr, st); err != nil {
+	if err := verifyExactlyOnce(*addr, st, *verifySrv); err != nil {
 		fmt.Printf("exactly-once:  FAIL: %v\n", err)
 		os.Exit(1)
 	}
-	fmt.Printf("exactly-once:  OK (no lost or duplicated invocations)\n")
+	if *verifySrv {
+		fmt.Printf("exactly-once:  OK (no lost or duplicated invocations)\n")
+	} else {
+		fmt.Printf("exactly-once:  OK client-side (unique invocation per result; server reconcile skipped)\n")
+	}
 
 	// Scrape after the daemon is at rest (verifyExactlyOnce polled for
 	// that), so the deltas cover exactly this run's work.
@@ -193,7 +207,7 @@ func main() {
 			fmt.Printf("flepload: no /metrics after run: %v\n", err)
 			return
 		}
-		reportMetricsDeltas(before, after)
+		reportMetricsDeltas(before, after, wall)
 	}
 }
 
@@ -214,7 +228,7 @@ func scrapeMetrics(addr string) (obs.Snapshot, error) {
 // scheduler, device, and policy did while the clients were hammering it.
 // Everything is an after−before delta, so a long-lived daemon's history
 // does not pollute this run's numbers.
-func reportMetricsDeltas(before, after obs.Snapshot) {
+func reportMetricsDeltas(before, after obs.Snapshot, wall time.Duration) {
 	// SumMatching tolerates the fleet's injected device label: a family
 	// delta sums every shard's series, and a ("kind", "primary") match
 	// still selects the right members whatever other labels ride along.
@@ -256,6 +270,30 @@ func reportMetricsDeltas(before, after obs.Snapshot) {
 		d("flep_device_drains_total"), d("flep_device_completions_total"))
 	if m, n := mean("flep_server_request_latency_seconds"); n > 0 {
 		fmt.Printf("  server:      %.0f results, mean real latency %v\n", n, secs(m))
+	}
+
+	// When the target is a flepgw gateway its /metrics carries every
+	// node's exposition relabeled with node=<id>; splitting the deltas by
+	// that label recovers each node's share of the run without asking the
+	// nodes directly.
+	nodes := after.LabelValues("flep_server_launches_total", "node")
+	if len(nodes) < 2 {
+		return
+	}
+	fmt.Printf("per node (node-labeled metrics deltas):\n")
+	for _, id := range nodes {
+		dn := func(name string, pairs ...string) float64 {
+			pairs = append(pairs, "node", id)
+			return after.SumMatching(name, pairs...) - before.SumMatching(name, pairs...)
+		}
+		completed := dn("flep_server_launches_total", "outcome", "completed")
+		antt := 0.0
+		if n := dn("flep_server_ntt_count"); n > 0 {
+			antt = dn("flep_server_ntt_sum") / n
+		}
+		fmt.Printf("  node %s:     completed=%.0f  throughput %.1f launches/s  ANTT %.3f  preemptions=%.0f\n",
+			id, completed, completed/wall.Seconds(), antt,
+			dn("flep_runtime_preemptions_total"))
 	}
 }
 
@@ -332,6 +370,7 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 		s := sample{
 			id:          res.ID,
 			device:      res.Device,
+			node:        resp.Header.Get("X-Flep-Node"),
 			realLatency: time.Since(begin),
 			turnaround:  time.Duration(res.TurnaroundNS),
 			waiting:     time.Duration(res.WaitingNS),
@@ -346,6 +385,7 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 			cc.rec.Record(replay.Record{
 				At:       begin.Sub(cc.runStart).Nanoseconds(),
 				Device:   res.Device,
+				Node:     s.node,
 				Client:   cc.id,
 				Bench:    req.Benchmark,
 				Class:    req.Class,
@@ -407,6 +447,35 @@ func report(st *stats, wall time.Duration) {
 		time.Duration(sumWait/float64(n)).Round(time.Microsecond))
 	fmt.Printf("ANTT:          %.3f   preemptions=%d\n", sumNTT/float64(n), preempts)
 
+	// Per-node breakdown when the target is a flepgw cluster: each node's
+	// share of the completions, as seen from the client side via the
+	// X-Flep-Node header. The metrics-delta report adds the server-side
+	// view of the same split.
+	perNode := map[string][]sample{}
+	for _, s := range st.samples {
+		perNode[s.node] = append(perNode[s.node], s)
+	}
+	if len(perNode) > 1 {
+		nodeIDs := make([]string, 0, len(perNode))
+		for id := range perNode {
+			nodeIDs = append(nodeIDs, id)
+		}
+		sort.Strings(nodeIDs)
+		fmt.Printf("per node:\n")
+		for _, id := range nodeIDs {
+			ss := perNode[id]
+			var ntt float64
+			var pre int
+			for _, s := range ss {
+				ntt += s.ntt
+				pre += s.preemptions
+			}
+			fmt.Printf("  node %s:     ok=%d (%4.1f%%)  throughput %.1f launches/s  ANTT %.3f  preemptions=%d\n",
+				id, len(ss), 100*float64(len(ss))/float64(n),
+				float64(len(ss))/wall.Seconds(), ntt/float64(len(ss)), pre)
+		}
+	}
+
 	// Per-shard breakdown when the daemon is a fleet: each device's share
 	// of the completions, its throughput, and its ANTT.
 	perDev := map[int][]sample{}
@@ -437,24 +506,33 @@ func report(st *stats, wall time.Duration) {
 }
 
 // verifyExactlyOnce checks the acceptance invariant against both views:
-// client-side (every OK response carried a unique invocation ID) and
-// server-side (enqueued == completed + submit_errors once at rest).
-func verifyExactlyOnce(addr string, st *stats) error {
+// client-side (every OK response carried a unique invocation ID) and —
+// when server is true — server-side (enqueued == completed +
+// submit_errors once at rest).
+func verifyExactlyOnce(addr string, st *stats, server bool) error {
 	st.mu.Lock()
-	// Invocation IDs are assigned per device shard, so uniqueness holds on
-	// the (device, id) pair fleet-wide.
-	type devID struct{ device, id int }
+	// Invocation IDs are assigned per device shard per node, so
+	// uniqueness holds on the (node, device, id) triple cluster-wide.
+	// Against a single flepd the node is empty and this degenerates to
+	// the (device, id) pair.
+	type devID struct {
+		node       string
+		device, id int
+	}
 	ids := map[devID]int{}
 	for _, s := range st.samples {
-		ids[devID{s.device, s.id}]++
+		ids[devID{s.node, s.device, s.id}]++
 	}
 	oks := len(st.samples)
 	timeouts := st.timeouts
 	st.mu.Unlock()
 	for k, c := range ids {
 		if c != 1 {
-			return fmt.Errorf("device %d invocation id %d delivered %d times", k.device, k.id, c)
+			return fmt.Errorf("node %q device %d invocation id %d delivered %d times", k.node, k.device, k.id, c)
 		}
+	}
+	if !server {
+		return nil
 	}
 	// Timed-out requests complete asynchronously; poll briefly for rest.
 	var sb statusBody

@@ -1,0 +1,301 @@
+package cluster
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/url"
+	"sort"
+	"sync"
+
+	"flep/internal/obs"
+	"flep/internal/server"
+	"flep/internal/trace"
+)
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// Handler returns the gateway's HTTP API: the flepd /v1 surface plus the
+// cluster-management endpoints.
+func (g *Gateway) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/launch", g.handleLaunch)
+	mux.HandleFunc("GET /v1/status", g.handleStatus)
+	mux.HandleFunc("GET /v1/sessions", g.handleSessions)
+	mux.HandleFunc("GET /v1/benchmarks", g.handleBenchmarks)
+	mux.HandleFunc("GET /v1/trace", g.handleTrace)
+	mux.HandleFunc("GET /v1/nodes", g.handleNodes)
+	mux.HandleFunc("POST /v1/nodes/{id}/drain", g.handleDrain)
+	mux.HandleFunc("GET /healthz", g.handleHealthz)
+	mux.HandleFunc("GET /readyz", g.handleReadyz)
+	mux.HandleFunc("GET /metrics", g.handleMetrics)
+	return mux
+}
+
+// fetchTarget is one node to aggregate from, snapshotted outside I/O.
+type fetchTarget struct {
+	id, addr string
+}
+
+// fetchTargets lists the nodes aggregation endpoints consult: everything
+// not removed (a draining or momentarily-down node still holds state the
+// cluster view must include).
+func (g *Gateway) fetchTargets() []fetchTarget {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	out := make([]fetchTarget, 0, len(g.nodes))
+	for _, n := range g.nodes {
+		if n.removed {
+			continue
+		}
+		out = append(out, fetchTarget{id: n.id, addr: n.addr})
+	}
+	return out
+}
+
+// fetchEach runs one fetch per target concurrently and hands each result
+// to merge in target order (merge runs on the caller's goroutine, so it
+// needs no locking of its own). Unreachable nodes are skipped: the
+// cluster view is the view of the nodes that answered.
+func fetchEach[T any](targets []fetchTarget, fetch func(fetchTarget) (T, error), merge func(fetchTarget, T)) {
+	results := make([]*T, len(targets))
+	var wg sync.WaitGroup
+	for i, tgt := range targets {
+		wg.Add(1)
+		go func(i int, tgt fetchTarget) {
+			defer wg.Done()
+			if v, err := fetch(tgt); err == nil {
+				results[i] = &v
+			}
+		}(i, tgt)
+	}
+	wg.Wait()
+	for i, tgt := range targets {
+		if results[i] != nil {
+			merge(tgt, *results[i])
+		}
+	}
+}
+
+// ClusterStatus is the gateway's /v1/status: the familiar flepd status
+// shape with counters and queue figures summed over the nodes that
+// answered (so a client's exactly-once verification works against the
+// gateway unchanged), plus the per-node breakdown.
+type ClusterStatus struct {
+	server.Status
+	Nodes []NodeStatus `json:"nodes"`
+}
+
+func (g *Gateway) handleStatus(w http.ResponseWriter, r *http.Request) {
+	targets := g.fetchTargets()
+	cs := ClusterStatus{}
+	cs.Device = -1
+	cs.UptimeMS = g.uptimeMS()
+	cs.ExactlyOnceOK = true
+	first := true
+	fetchEach(targets,
+		func(tgt fetchTarget) (server.Status, error) {
+			var st server.Status
+			err := getJSON(g.cfg.Client, tgt.addr+"/v1/status", &st)
+			return st, err
+		},
+		func(tgt fetchTarget, st server.Status) {
+			if first {
+				cs.Policy, cs.Spatial = st.Policy, st.Spatial
+				first = false
+			}
+			cs.QueueLen += st.QueueLen
+			cs.QueueCap += st.QueueCap
+			cs.MemoryFreeBytes += st.MemoryFreeBytes
+			cs.Sessions += st.Sessions
+			cs.TraceEntries += st.TraceEntries
+			cs.TraceDropped += st.TraceDropped
+			cs.Paused = cs.Paused || st.Paused
+			cs.Draining = cs.Draining || st.Draining
+			if st.VirtualNowUS > cs.VirtualNowUS {
+				cs.VirtualNowUS = st.VirtualNowUS
+			}
+			cs.ExactlyOnceOK = cs.ExactlyOnceOK && st.ExactlyOnceOK
+			a, b := &cs.Counters, st.Counters
+			a.Enqueued += b.Enqueued
+			a.Completed += b.Completed
+			a.SubmitErrors += b.SubmitErrors
+			a.RejectedFull += b.RejectedFull
+			a.RejectedDraining += b.RejectedDraining
+			a.RejectedInvalid += b.RejectedInvalid
+			a.TimedOut += b.TimedOut
+			a.Canceled += b.Canceled
+		})
+	cs.Nodes = g.nodeStatuses()
+	writeJSON(w, http.StatusOK, cs)
+}
+
+// ClusterSession is one client's cluster-wide session view: the merged
+// per-node snapshot plus which nodes served it (one node per client
+// while its home node stays healthy — the affinity contract).
+type ClusterSession struct {
+	server.SessionSnapshot
+	Nodes []string `json:"nodes"`
+}
+
+func (g *Gateway) handleSessions(w http.ResponseWriter, r *http.Request) {
+	merged := map[string]*ClusterSession{}
+	fetchEach(g.fetchTargets(),
+		func(tgt fetchTarget) ([]server.SessionSnapshot, error) {
+			var snaps []server.SessionSnapshot
+			err := getJSON(g.cfg.Client, tgt.addr+"/v1/sessions", &snaps)
+			return snaps, err
+		},
+		func(tgt fetchTarget, snaps []server.SessionSnapshot) {
+			for _, snap := range snaps {
+				m, ok := merged[snap.ID]
+				if !ok {
+					merged[snap.ID] = &ClusterSession{SessionSnapshot: snap, Nodes: []string{tgt.id}}
+					continue
+				}
+				// Same completion-weighted merge the fleet applies across
+				// shards, lifted across nodes.
+				total := m.Completed + snap.Completed
+				if total > 0 {
+					m.MeanTurnUS = (m.MeanTurnUS*float64(m.Completed) + snap.MeanTurnUS*float64(snap.Completed)) / float64(total)
+					m.MeanWaitUS = (m.MeanWaitUS*float64(m.Completed) + snap.MeanWaitUS*float64(snap.Completed)) / float64(total)
+				}
+				m.Launches += snap.Launches
+				m.InFlight += snap.InFlight
+				m.Completed += snap.Completed
+				m.SubmitErrors += snap.SubmitErrors
+				m.RejectedFull += snap.RejectedFull
+				m.TimedOut += snap.TimedOut
+				m.Preemptions += snap.Preemptions
+				if snap.FirstSeenUnix < m.FirstSeenUnix {
+					m.FirstSeenUnix = snap.FirstSeenUnix
+				}
+				if snap.LastFinishUS > m.LastFinishUS {
+					m.LastFinishUS = snap.LastFinishUS
+				}
+				if m.Launches > m.Completed+m.SubmitErrors {
+					m.HostState = "S2/S3 (awaiting schedule or GPU)"
+				} else {
+					m.HostState = "S1 (cpu)"
+				}
+				m.Nodes = append(m.Nodes, tgt.id)
+			}
+		})
+	ids := make([]string, 0, len(merged))
+	for id := range merged {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	out := make([]ClusterSession, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, *merged[id])
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// handleBenchmarks relays the first answering node's catalog (catalogs
+// are identical across a homogeneous cluster).
+func (g *Gateway) handleBenchmarks(w http.ResponseWriter, r *http.Request) {
+	for _, tgt := range g.fetchTargets() {
+		var benches []server.BenchmarkInfo
+		if err := getJSON(g.cfg.Client, tgt.addr+"/v1/benchmarks", &benches); err == nil {
+			writeJSON(w, http.StatusOK, benches)
+			return
+		}
+	}
+	writeJSON(w, http.StatusServiceUnavailable, apiError{"no node answered /v1/benchmarks"})
+}
+
+// handleTrace merges the nodes' trace streams into one global
+// (Time, Node, Device)-ordered stream, each entry stamped with its node.
+func (g *Gateway) handleTrace(w http.ResponseWriter, r *http.Request) {
+	targets := g.fetchTargets()
+	q := ""
+	if kind := r.URL.Query().Get("kind"); kind != "" {
+		q = "?kind=" + url.QueryEscape(kind)
+	}
+	streams := make([][]trace.Entry, 0, len(targets))
+	fetchEach(targets,
+		func(tgt fetchTarget) ([]trace.Entry, error) {
+			var entries []trace.Entry
+			err := getJSON(g.cfg.Client, tgt.addr+"/v1/trace"+q, &entries)
+			return entries, err
+		},
+		func(tgt fetchTarget, entries []trace.Entry) {
+			for i := range entries {
+				entries[i].Node = tgt.id
+			}
+			streams = append(streams, entries)
+		})
+	if len(streams) == 0 {
+		writeJSON(w, http.StatusNotFound, apiError{"no node served a trace (start flepd with -trace)"})
+		return
+	}
+	writeJSON(w, http.StatusOK, trace.Merge(streams))
+}
+
+func (g *Gateway) handleNodes(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, g.nodeStatuses())
+}
+
+func (g *Gateway) handleDrain(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if err := g.Drain(id); err != nil {
+		writeJSON(w, http.StatusNotFound, apiError{err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusAccepted, map[string]string{"node": id, "state": "draining"})
+}
+
+// handleHealthz is the gateway's own liveness: 200 while it serves.
+func (g *Gateway) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is routability: the gateway is ready iff at least one
+// node is.
+func (g *Gateway) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	if g.ReadyNodes() == 0 {
+		http.Error(w, "no ready nodes", http.StatusServiceUnavailable)
+		return
+	}
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ready\n"))
+}
+
+// handleMetrics writes the gateway's own families, then each node's
+// exposition with a node label injected into every sample — one scrape
+// answers both "how is the gateway routing?" and "what is each node
+// doing?", and label-subset sums (obs.SumMatching without the node key)
+// recover cluster-wide totals.
+func (g *Gateway) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+	if err := g.reg.WritePrometheus(w); err != nil {
+		return
+	}
+	for _, tgt := range g.fetchTargets() {
+		resp, err := g.cfg.Client.Get(tgt.addr + "/metrics")
+		if err != nil {
+			continue
+		}
+		if resp.StatusCode != http.StatusOK {
+			resp.Body.Close()
+			continue
+		}
+		err = obs.RelabelText(w, resp.Body, "node", tgt.id)
+		resp.Body.Close()
+		if err != nil {
+			return
+		}
+	}
+}

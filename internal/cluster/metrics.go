@@ -1,0 +1,41 @@
+package cluster
+
+import "flep/internal/obs"
+
+// gwMetrics are the gateway's own instruments (flep_gateway_* families);
+// node families arrive via /metrics relabeling, not re-registration.
+type gwMetrics struct {
+	Launches           *obs.Counter
+	Accepted           *obs.Counter
+	Retries            *obs.Counter
+	RejectedSaturated  *obs.Counter
+	RejectedUnroutable *obs.Counter
+}
+
+func newGWMetrics(reg *obs.Registry, g *Gateway) *gwMetrics {
+	m := &gwMetrics{
+		Launches: reg.Counter("flep_gateway_launches_total",
+			"Launches the gateway received"),
+		Accepted: reg.Counter("flep_gateway_accepted_total",
+			"Launches a node accepted and completed with 200"),
+		Retries: reg.Counter("flep_gateway_retries_total",
+			"Launch attempts beyond the first candidate node"),
+		RejectedSaturated: reg.Counter("flep_gateway_rejected_saturated_total",
+			"Launches refused 429 because every node was saturated"),
+		RejectedUnroutable: reg.Counter("flep_gateway_rejected_unroutable_total",
+			"Launches refused 503 because no node was routable"),
+	}
+	reg.GaugeFunc("flep_gateway_nodes_ready",
+		"Nodes currently eligible for routing", func() float64 { return float64(g.ReadyNodes()) })
+	reg.GaugeFunc("flep_gateway_inflight",
+		"Proxied launches currently awaiting a node response", func() float64 {
+			g.mu.Lock()
+			defer g.mu.Unlock()
+			var total int64
+			for _, n := range g.nodes {
+				total += n.inflight
+			}
+			return float64(total)
+		})
+	return m
+}

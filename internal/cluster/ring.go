@@ -1,0 +1,100 @@
+// Package cluster is the flepgw gateway: one HTTP front door over N
+// independent flepd nodes, presenting the same /v1 surface a single
+// daemon does. The gateway owns routing (consistent-hash session
+// affinity, memory/load-aware placement for unaffinitized launches),
+// node health, drain/rebalance, and fleet-wide aggregation of status,
+// sessions, traces, and metrics. Nodes stay mutually unaware — flepd
+// gains no cluster code — so a node can be killed, drained, or added
+// behind the gateway without touching the data plane it serves.
+package cluster
+
+import (
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// vnodesPerNode is the ring's virtual-node fan-out. 64 points per node
+// keeps the per-node keyspace share within a few percent of fair for
+// small clusters while the ring stays tiny (a 16-node cluster is 1024
+// points — one binary search over a contiguous slice per route).
+const vnodesPerNode = 64
+
+// ring is a consistent-hash ring over node IDs. It is immutable after
+// construction: membership changes (drain, removal) are expressed by the
+// eligibility filter at walk time, not by rebuilding the ring, so a
+// drained node's sessions — and only that node's sessions — fall through
+// to their next preference while everyone else's mapping is untouched.
+type ring struct {
+	points []ringPoint // sorted by hash
+	nodes  []string    // distinct node IDs, construction order
+}
+
+type ringPoint struct {
+	hash uint64
+	node string
+}
+
+func hash64(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return mix64(h.Sum64())
+}
+
+// mix64 is the splitmix64 finalizer. FNV-1a of short, similar keys
+// ("addr#3" vs "addr#4") differs mostly in low bits, which would sort
+// each node's vnodes into one contiguous arc — the opposite of what a
+// consistent-hash ring needs. The avalanche spreads every input bit
+// across the word so vnodes interleave.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// newRing builds the ring from node IDs (addresses work too; any stable
+// distinct strings).
+func newRing(nodes []string) *ring {
+	r := &ring{nodes: append([]string(nil), nodes...)}
+	r.points = make([]ringPoint, 0, len(nodes)*vnodesPerNode)
+	for _, n := range nodes {
+		for rep := 0; rep < vnodesPerNode; rep++ {
+			r.points = append(r.points, ringPoint{hash64(fmt.Sprintf("%s#%d", n, rep)), n})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		if r.points[i].hash != r.points[j].hash {
+			return r.points[i].hash < r.points[j].hash
+		}
+		// Hash ties (vanishingly rare) break by node ID so the walk order
+		// is deterministic regardless of construction order.
+		return r.points[i].node < r.points[j].node
+	})
+	return r
+}
+
+// sequence returns every node exactly once, in the key's preference
+// order: the walk clockwise from the key's hash. sequence(key)[0] is the
+// key's home node; later entries are where its sessions land if earlier
+// ones are ineligible. Callers filter eligibility themselves — the ring
+// knows the geometry, the gateway knows the health.
+func (r *ring) sequence(key string) []string {
+	if len(r.points) == 0 {
+		return nil
+	}
+	h := hash64(key)
+	start := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	out := make([]string, 0, len(r.nodes))
+	seen := make(map[string]bool, len(r.nodes))
+	for i := 0; i < len(r.points) && len(out) < len(r.nodes); i++ {
+		p := r.points[(start+i)%len(r.points)]
+		if !seen[p.node] {
+			seen[p.node] = true
+			out = append(out, p.node)
+		}
+	}
+	return out
+}

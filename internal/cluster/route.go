@@ -1,0 +1,293 @@
+package cluster
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strconv"
+	"time"
+
+	"flep/internal/replay"
+	"flep/internal/server"
+)
+
+// candidate is one routable node in preference order, copied out of the
+// lock so the proxy loop never does I/O while holding it.
+type candidate struct {
+	id, addr string
+}
+
+// candidates computes the launch's node preference order.
+//
+// Named clients walk the consistent-hash ring from their key: the first
+// eligible node on the walk is the session's home, and because the walk
+// order is a pure function of the client key, a drained or dead node
+// remaps exactly its own sessions to their next ring preference while
+// every other session stays put.
+//
+// Anonymous launches have no session to preserve, so they go wherever
+// capacity is: nodes whose last-known free device memory fits the
+// launch's working set come first, ordered by load (queued + in-flight
+// at the node, plus the gateway's own not-yet-visible in-flight count);
+// non-fitting nodes trail as fallback, and ties rotate so a burst placed
+// before any load shows up in the snapshots still spreads evenly.
+func (g *Gateway) candidates(client string, req server.LaunchRequest) []candidate {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+
+	if client != "" && client != "anonymous" {
+		out := make([]candidate, 0, len(g.nodes))
+		for _, addr := range g.ring.sequence(client) {
+			if n := g.byAddr[addr]; n.eligible() {
+				out = append(out, candidate{id: n.id, addr: n.addr})
+			}
+		}
+		return out
+	}
+
+	need := g.workingSetLocked(req)
+	type scored struct {
+		cand candidate
+		fits bool
+		load int64
+		rot  int
+	}
+	n := len(g.nodes)
+	start := int(g.rr) % n
+	g.rr++
+	elig := make([]scored, 0, n)
+	for i, nd := range g.nodes {
+		if !nd.eligible() {
+			continue
+		}
+		load := nd.inflight
+		fits := true
+		if nd.haveStatus {
+			c := nd.status.Counters
+			load += int64(nd.status.QueueLen) + (c.Enqueued - c.Completed - c.SubmitErrors)
+			if need > 0 && nd.status.MemoryFreeBytes > 0 && nd.status.MemoryFreeBytes < need {
+				fits = false
+			}
+		}
+		elig = append(elig, scored{
+			cand: candidate{id: nd.id, addr: nd.addr},
+			fits: fits, load: load, rot: (i - start + n) % n,
+		})
+	}
+	sort.Slice(elig, func(i, j int) bool {
+		if elig[i].fits != elig[j].fits {
+			return elig[i].fits
+		}
+		if elig[i].load != elig[j].load {
+			return elig[i].load < elig[j].load
+		}
+		return elig[i].rot < elig[j].rot
+	})
+	out := make([]candidate, len(elig))
+	for i, s := range elig {
+		out[i] = s.cand
+	}
+	return out
+}
+
+// workingSetLocked mirrors Fleet.workingSet using the benchmark catalog
+// cached from the first node that served one (catalogs are identical
+// across a homogeneous cluster). Zero means "not placeable by memory" —
+// the node's own admission handles it. Caller holds g.mu.
+func (g *Gateway) workingSetLocked(req server.LaunchRequest) int64 {
+	var benches []server.BenchmarkInfo
+	for _, n := range g.nodes {
+		if len(n.benches) > 0 {
+			benches = n.benches
+			break
+		}
+	}
+	class := req.Class
+	if class == "" {
+		class = "small"
+	}
+	for _, b := range benches {
+		if b.Name != req.Benchmark {
+			continue
+		}
+		ci, ok := b.Classes[class]
+		if !ok {
+			return 0
+		}
+		bytes := ci.Bytes
+		if req.TasksOverride > 0 && ci.Tasks > 0 {
+			bytes = int64(req.TasksOverride) * (ci.Bytes / int64(ci.Tasks))
+		}
+		return bytes / 8
+	}
+	return 0
+}
+
+// trackInflight adjusts the gateway-side in-flight count for a node.
+func (g *Gateway) trackInflight(id string, delta int64) {
+	g.mu.Lock()
+	g.byID[id].inflight += delta
+	g.mu.Unlock()
+}
+
+// countTerminal records a terminal response relayed for a node.
+func (g *Gateway) countTerminal(id string, code int) {
+	g.mu.Lock()
+	n := g.byID[id]
+	switch code {
+	case http.StatusOK:
+		n.accepted++
+	case http.StatusUnprocessableEntity:
+		n.failed++
+	case http.StatusGatewayTimeout:
+		n.timedOut++
+	}
+	g.mu.Unlock()
+}
+
+// handleLaunch proxies one launch with retry-with-exclusion: walk the
+// candidate list; transport failures mark the node down and move on, a
+// node's 429 is remembered (so an all-saturated cluster answers 429 with
+// the largest backend Retry-After rather than lying with a generic
+// retry hint), a 503 means the node started draining on its own. Any
+// terminal response (200/400/422/504) is relayed as-is plus an
+// X-Flep-Node header naming the serving node, so clients can attribute
+// per-node results and keep (node, device, id) identity unique.
+func (g *Gateway) handleLaunch(w http.ResponseWriter, r *http.Request) {
+	g.met.Launches.Inc()
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, apiError{"read body: " + err.Error()})
+		return
+	}
+	var req server.LaunchRequest
+	if len(bytes.TrimSpace(body)) > 0 {
+		if err := json.Unmarshal(body, &req); err != nil {
+			writeJSON(w, http.StatusBadRequest, apiError{"parse launch: " + err.Error()})
+			return
+		}
+	}
+	client := r.Header.Get("X-Flep-Client")
+	if client == "" {
+		client = req.Client
+	}
+	if client == "" {
+		client = "anonymous"
+	}
+
+	cands := g.candidates(client, req)
+	tried := 0
+	sawSaturated := false
+	maxRetryAfter := 0
+	for _, cand := range cands {
+		tried++
+		if tried > 1 {
+			g.met.Retries.Inc()
+		}
+		code, hdr, respBody, err := g.proxyLaunch(r, cand, client, body)
+		if err != nil {
+			g.markDown(cand.id, err)
+			continue
+		}
+		switch code {
+		case http.StatusTooManyRequests:
+			sawSaturated = true
+			if ra, err := strconv.Atoi(hdr.Get("Retry-After")); err == nil && ra > maxRetryAfter {
+				maxRetryAfter = ra
+			}
+			continue
+		case http.StatusServiceUnavailable:
+			g.markUnready(cand.id)
+			continue
+		}
+		g.countTerminal(cand.id, code)
+		if code == http.StatusOK {
+			g.met.Accepted.Inc()
+			g.record(cand.id, client, req, respBody)
+		}
+		relay(w, code, hdr, respBody, cand.id)
+		return
+	}
+
+	if sawSaturated {
+		g.met.RejectedSaturated.Inc()
+		if maxRetryAfter <= 0 {
+			maxRetryAfter = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(maxRetryAfter))
+		writeJSON(w, http.StatusTooManyRequests, apiError{"cluster saturated: every node's admission queue is full"})
+		return
+	}
+	g.met.RejectedUnroutable.Inc()
+	writeJSON(w, http.StatusServiceUnavailable, apiError{"no ready nodes"})
+}
+
+// proxyLaunch sends the launch to one node, counting the gateway-side
+// in-flight window for the duration.
+func (g *Gateway) proxyLaunch(r *http.Request, cand candidate, client string, body []byte) (int, http.Header, []byte, error) {
+	g.trackInflight(cand.id, +1)
+	defer g.trackInflight(cand.id, -1)
+
+	preq, err := http.NewRequestWithContext(r.Context(), http.MethodPost, cand.addr+"/v1/launch", bytes.NewReader(body))
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	preq.Header.Set("Content-Type", "application/json")
+	preq.Header.Set("X-Flep-Client", client)
+	resp, err := g.cfg.Client.Do(preq)
+	if err != nil {
+		return 0, nil, nil, err
+	}
+	defer resp.Body.Close()
+	respBody, err := io.ReadAll(resp.Body)
+	if err != nil {
+		// A terminal status whose body died on the wire is indistinguishable
+		// from a transport failure for accounting: treat it as one so the
+		// caller retries (the invocation, if admitted, still completes
+		// exactly once on the node).
+		return 0, nil, nil, fmt.Errorf("read %s response: %w", cand.id, err)
+	}
+	return resp.StatusCode, resp.Header, respBody, nil
+}
+
+// record appends an accepted launch to the gateway trace (no-op without
+// -record). The serving node and device come from the relayed result.
+func (g *Gateway) record(nodeID, client string, req server.LaunchRequest, respBody []byte) {
+	if g.rec == nil {
+		return
+	}
+	var res server.LaunchResult
+	device := -1
+	if err := json.Unmarshal(respBody, &res); err == nil {
+		device = res.Device
+	}
+	g.rec.Record(replay.Record{
+		At:            time.Since(g.startReal).Nanoseconds(),
+		Device:        device,
+		Node:          nodeID,
+		Client:        client,
+		Bench:         req.Benchmark,
+		Class:         req.Class,
+		Priority:      req.Priority,
+		Weight:        req.Weight,
+		TasksOverride: req.TasksOverride,
+	})
+}
+
+// relay writes a node's terminal response through to the client.
+func relay(w http.ResponseWriter, code int, hdr http.Header, body []byte, nodeID string) {
+	if ct := hdr.Get("Content-Type"); ct != "" {
+		w.Header().Set("Content-Type", ct)
+	} else {
+		w.Header().Set("Content-Type", "application/json")
+	}
+	if ra := hdr.Get("Retry-After"); ra != "" {
+		w.Header().Set("Retry-After", ra)
+	}
+	w.Header().Set("X-Flep-Node", nodeID)
+	w.WriteHeader(code)
+	w.Write(body)
+}

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"bufio"
+	"io"
+	"sort"
+	"strings"
+)
+
+// RelabelText streams a Prometheus text exposition from r to w, adding
+// one label pair to every sample line. Comment (# HELP/# TYPE) and blank
+// lines pass through unchanged — parsers skip repeated family headers —
+// so expositions from several sources can be concatenated into one
+// stream distinguished by the injected label. The injected pair is
+// prepended as the first label; SumMatching-style label-subset queries
+// are order-independent, so placement does not matter.
+//
+// This is the gateway-side counterpart of Registry.WritePrometheus's
+// extraLabels: the fleet injects a device label where the registry is in
+// hand, the cluster gateway injects a node label where only the rendered
+// text is.
+func RelabelText(w io.Writer, r io.Reader, key, value string) error {
+	bw := bufio.NewWriter(w)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	pair := key + `="` + escapeLabelValue(value) + `"`
+	for sc.Scan() {
+		line := sc.Text()
+		trimmed := strings.TrimSpace(line)
+		if trimmed == "" || strings.HasPrefix(trimmed, "#") {
+			if _, err := bw.WriteString(line + "\n"); err != nil {
+				return err
+			}
+			continue
+		}
+		if _, err := bw.WriteString(injectLabel(trimmed, pair) + "\n"); err != nil {
+			return err
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// injectLabel splices a rendered `key="value"` pair into one sample
+// line as its first label. Metric names cannot contain '{' or ' ', so
+// whichever comes first ends the name; everything after is preserved
+// verbatim (existing labels, value, optional timestamp).
+func injectLabel(line, pair string) string {
+	nameEnd := strings.IndexAny(line, "{ ")
+	if nameEnd < 0 {
+		return line // not a sample line; leave untouched
+	}
+	name, rest := line[:nameEnd], line[nameEnd:]
+	if rest[0] == '{' {
+		if rest[1] == '}' { // degenerate empty label set
+			return name + "{" + pair + "}" + rest[2:]
+		}
+		return name + "{" + pair + "," + rest[1:]
+	}
+	return name + "{" + pair + "}" + rest
+}
+
+// escapeLabelValue escapes a label value per the Prometheus text format.
+func escapeLabelValue(v string) string {
+	v = strings.ReplaceAll(v, `\`, `\\`)
+	v = strings.ReplaceAll(v, `"`, `\"`)
+	return strings.ReplaceAll(v, "\n", `\n`)
+}
+
+// LabelValues returns the distinct values the named label takes across
+// the family's samples, sorted. A scrape relabeled per node answers
+// "which nodes are in this exposition?" with
+// LabelValues("flep_server_launches_total", "node").
+func (s Snapshot) LabelValues(family, key string) []string {
+	seen := map[string]bool{}
+	prefix := family + "{"
+	for k := range s {
+		if !strings.HasPrefix(k, prefix) {
+			continue
+		}
+		inner := strings.TrimSuffix(k[len(prefix):], "}")
+		for _, part := range strings.Split(inner, ",") {
+			if rest, ok := strings.CutPrefix(part, key+`="`); ok {
+				seen[strings.TrimSuffix(rest, `"`)] = true
+			}
+		}
+	}
+	out := make([]string, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,75 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRelabelTextInjectsNodeLabel(t *testing.T) {
+	in := strings.Join([]string{
+		`# HELP flep_x_total Things`,
+		`# TYPE flep_x_total counter`,
+		`flep_x_total 3`,
+		`flep_y_total{kind="primary"} 2`,
+		`flep_h_bucket{le="+Inf"} 5`,
+		`flep_h_sum 1.25`,
+		``,
+	}, "\n")
+	var out strings.Builder
+	if err := RelabelText(&out, strings.NewReader(in), "node", "n0"); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{
+		`flep_x_total{node="n0"} 3`,
+		`flep_y_total{node="n0",kind="primary"} 2`,
+		`flep_h_bucket{node="n0",le="+Inf"} 5`,
+		`flep_h_sum{node="n0"} 1.25`,
+		"# HELP flep_x_total Things",
+	} {
+		if !strings.Contains(got, want+"\n") {
+			t.Fatalf("relabeled exposition missing %q:\n%s", want, got)
+		}
+	}
+
+	// The relabeled text must round-trip through the parser, and the
+	// label-subset sum must see the injected label.
+	snap, err := ParseText(strings.NewReader(got))
+	if err != nil {
+		t.Fatalf("relabeled exposition does not parse: %v", err)
+	}
+	if v := snap.SumMatching("flep_y_total", "node", "n0", "kind", "primary"); v != 2 {
+		t.Fatalf("SumMatching over relabeled = %v, want 2", v)
+	}
+}
+
+func TestRelabelTextEscapesValue(t *testing.T) {
+	var out strings.Builder
+	if err := RelabelText(&out, strings.NewReader("flep_x_total 1\n"), "node", `a"b\c`); err != nil {
+		t.Fatal(err)
+	}
+	if want := `flep_x_total{node="a\"b\\c"} 1`; !strings.Contains(out.String(), want) {
+		t.Fatalf("got %q, want %q", out.String(), want)
+	}
+}
+
+func TestSnapshotLabelValues(t *testing.T) {
+	in := strings.Join([]string{
+		`flep_x_total{node="n1",outcome="completed"} 3`,
+		`flep_x_total{node="n0",outcome="completed"} 2`,
+		`flep_x_total{node="n0",outcome="enqueued"} 2`,
+		`flep_other_total{node="zz"} 1`,
+		`flep_x_total 9`, // unlabeled sample contributes no values
+	}, "\n")
+	snap, err := ParseText(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := snap.LabelValues("flep_x_total", "node")
+	if len(got) != 2 || got[0] != "n0" || got[1] != "n1" {
+		t.Fatalf("LabelValues = %v, want [n0 n1]", got)
+	}
+	if vals := snap.LabelValues("flep_x_total", "nope"); len(vals) != 0 {
+		t.Fatalf("unknown key yielded %v", vals)
+	}
+}

@@ -45,6 +45,12 @@ const (
 	// SourceFlepload marks a client-side capture from the load generator:
 	// At is a wall-clock offset since the run began.
 	SourceFlepload = "flepload"
+	// SourceFlepgw marks a cluster-gateway capture: one record per launch
+	// the gateway saw accepted by any node, with At a wall-clock offset
+	// since the gateway opened its recorder and Node naming the serving
+	// node. No single virtual clock spans the cluster, so gateway traces
+	// replay in timed mode (like flepload's).
+	SourceFlepgw = "flepgw"
 	// SourceScenario marks a trace converted from a workload.Scenario or
 	// synthesized mix: At is the scripted arrival offset.
 	SourceScenario = "scenario"
@@ -102,6 +108,12 @@ type Record struct {
 	Wall int64 `json:"wall_ns,omitempty"`
 	// Device is the fleet shard that admitted the launch (-1 if unknown).
 	Device int `json:"device"`
+	// Node is the cluster node that served the launch (flepgw traces
+	// only; empty otherwise). Informational for replay — a replayed
+	// cluster collapses onto one simulated fleet — but it keeps the
+	// record attributable when reconciling a gateway trace against
+	// per-node accounting.
+	Node string `json:"node,omitempty"`
 
 	Client        string  `json:"client"`
 	Bench         string  `json:"bench"`

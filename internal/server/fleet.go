@@ -282,6 +282,7 @@ func (f *Fleet) Status() Status {
 		addCounters(&agg.Counters, d.Counters)
 		agg.QueueLen += d.QueueLen
 		agg.QueueCap += d.QueueCap
+		agg.MemoryFreeBytes += d.MemoryFreeBytes
 		agg.Sessions += d.Sessions
 		agg.TraceEntries += d.TraceEntries
 		agg.TraceDropped += d.TraceDropped
@@ -359,44 +360,9 @@ func (f *Fleet) TraceEntries(kind string) []trace.Entry {
 		}
 		streams = append(streams, entries)
 	}
-	return mergeTraceEntries(streams)
-}
-
-// mergeTraceEntries k-way merges per-shard trace streams into one global
-// timestamp order. Each shard's stream is already time-ordered (the
-// simulator appends monotonically), so the merge is a deterministic
-// O(n·k) head comparison with a total tie-break: equal timestamps order
-// by device index, and entries within one shard keep their append order.
-// A plain concat+sort gives the same ordering only by accident of the
-// sort's stability; the merge makes the contract explicit and holds even
-// if a caller hands it streams assembled in a different shard order.
-func mergeTraceEntries(streams [][]trace.Entry) []trace.Entry {
-	total := 0
-	for _, s := range streams {
-		total += len(s)
-	}
-	// Heads walk each stream; pick the smallest (Time, Device) each round.
-	idx := make([]int, len(streams))
-	out := make([]trace.Entry, 0, total)
-	for len(out) < total {
-		best := -1
-		for i, s := range streams {
-			if idx[i] >= len(s) {
-				continue
-			}
-			if best < 0 {
-				best = i
-				continue
-			}
-			h, b := s[idx[i]], streams[best][idx[best]]
-			if h.Time < b.Time || (h.Time == b.Time && h.Device < b.Device) {
-				best = i
-			}
-		}
-		out = append(out, streams[best][idx[best]])
-		idx[best]++
-	}
-	return out
+	// trace.Merge orders by (Time, Node, Device); shard streams carry no
+	// Node, so the tie-break reduces to the documented (Time, Device).
+	return trace.Merge(streams)
 }
 
 // Handler returns the fleet's HTTP API: the same surface as a single
@@ -412,6 +378,7 @@ func (f *Fleet) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/pause", f.handlePause)
 	mux.HandleFunc("POST /v1/resume", f.handleResume)
 	mux.HandleFunc("GET /healthz", f.handleHealthz)
+	mux.HandleFunc("GET /readyz", f.handleReadyz)
 	mux.HandleFunc("GET /metrics", f.handleMetrics)
 	return mux
 }
@@ -480,7 +447,19 @@ func (f *Fleet) handleResume(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"paused": false})
 }
 
+// handleHealthz is pure liveness: a draining fleet is still alive (its
+// shards are finishing accepted work), so the answer is 200 for as long
+// as the process can serve HTTP at all. Routing decisions belong to
+// /readyz.
 func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the routing signal: it flips to 503 the moment any
+// shard begins draining — before in-flight work finishes — so a gateway
+// stops sending new launches here immediately.
+func (f *Fleet) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	for _, s := range f.shards {
 		if s.Draining() {
 			http.Error(w, "draining", http.StatusServiceUnavailable)
@@ -488,7 +467,7 @@ func (f *Fleet) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	_, _ = w.Write([]byte("ready\n"))
 }
 
 // handleMetrics renders every shard's registry into one exposition, each

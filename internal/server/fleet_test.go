@@ -328,7 +328,8 @@ func TestFleetEndToEndDrainExactlyOnce(t *testing.T) {
 // Regression for the /v1/trace fleet aggregation: per-shard streams must
 // merge into one global timestamp order with the documented (Time,
 // Device) tie-break and per-shard append order preserved — not merely
-// concatenate.
+// concatenate. The merge itself now lives in trace.Merge (shared with
+// the cluster gateway); this pins the fleet-facing contract.
 func TestMergeTraceEntriesGlobalOrder(t *testing.T) {
 	e := func(dev int, at time.Duration, kind string) trace.Entry {
 		return trace.Entry{Time: at, Device: dev, Source: "runtime", Kind: kind}
@@ -339,7 +340,7 @@ func TestMergeTraceEntriesGlobalOrder(t *testing.T) {
 		{}, // a shard that recorded nothing
 		{e(3, 30, "h"), e(3, 95, "i")},
 	}
-	got := mergeTraceEntries(streams)
+	got := trace.Merge(streams)
 	var want []string
 	// t=5:e(d1); t=10:a(d0); t=30 ties by device then append order:
 	// b,c(d0), f(d1), h(d3); t=60:g; t=90:d; t=95:i.
@@ -370,7 +371,7 @@ func TestMergeTraceEntriesGlobalOrder(t *testing.T) {
 	// Stream order must not matter: the same shards handed over in a
 	// different slice order merge to the identical sequence.
 	shuffled := [][]trace.Entry{streams[3], streams[1], streams[0], streams[2]}
-	got2 := mergeTraceEntries(shuffled)
+	got2 := trace.Merge(shuffled)
 	for i := range got {
 		if got[i] != got2[i] {
 			t.Fatalf("merge depends on stream order at %d: %+v vs %+v", i, got[i], got2[i])

@@ -42,22 +42,26 @@ type LaunchRequest struct {
 // top-level Status carries the aggregated counters and queue figures, with
 // per-shard breakdowns under Devices.
 type Status struct {
-	Policy        string   `json:"policy"`
-	Spatial       bool     `json:"spatial"`
-	Device        int      `json:"device"`
-	Devices       []Status `json:"devices,omitempty"`
-	Benchmarks    []string `json:"benchmarks"`
-	UptimeMS      int64    `json:"uptime_ms"`
-	VirtualNowUS  float64  `json:"virtual_now_us"`
-	QueueLen      int      `json:"queue_len"`
-	QueueCap      int      `json:"queue_cap"`
-	Paused        bool     `json:"paused"`
-	Draining      bool     `json:"draining"`
-	Sessions      int      `json:"sessions"`
-	Counters      counters `json:"counters"`
-	TraceEntries  int      `json:"trace_entries,omitempty"`
-	TraceDropped  int      `json:"trace_dropped,omitempty"`
-	ExactlyOnceOK bool     `json:"exactly_once_ok"`
+	Policy       string   `json:"policy"`
+	Spatial      bool     `json:"spatial"`
+	Device       int      `json:"device"`
+	Devices      []Status `json:"devices,omitempty"`
+	Benchmarks   []string `json:"benchmarks"`
+	UptimeMS     int64    `json:"uptime_ms"`
+	VirtualNowUS float64  `json:"virtual_now_us"`
+	QueueLen     int      `json:"queue_len"`
+	QueueCap     int      `json:"queue_cap"`
+	// MemoryFreeBytes is the unreserved simulated device memory (summed
+	// across shards on a fleet): the placement signal a cluster gateway
+	// reads from this snapshot.
+	MemoryFreeBytes int64    `json:"memory_free_bytes"`
+	Paused          bool     `json:"paused"`
+	Draining        bool     `json:"draining"`
+	Sessions        int      `json:"sessions"`
+	Counters        counters `json:"counters"`
+	TraceEntries    int      `json:"trace_entries,omitempty"`
+	TraceDropped    int      `json:"trace_dropped,omitempty"`
+	ExactlyOnceOK   bool     `json:"exactly_once_ok"`
 }
 
 type apiError struct {
@@ -83,6 +87,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("POST /v1/pause", s.handlePause)
 	mux.HandleFunc("POST /v1/resume", s.handleResume)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
 }
@@ -228,17 +233,18 @@ func (s *Server) statusSnapshot() Status {
 	}
 	s.mu.Lock()
 	st := Status{
-		Policy:       s.cfg.Policy,
-		Spatial:      s.cfg.Spatial,
-		Device:       s.cfg.Device,
-		Benchmarks:   names,
-		UptimeMS:     time.Since(s.startReal).Milliseconds(),
-		VirtualNowUS: float64(s.vnow.Load()) / 1e3,
-		QueueLen:     len(s.submitCh),
-		QueueCap:     cap(s.submitCh),
-		Paused:       s.paused.Load(),
-		Sessions:     len(s.sessions),
-		Counters:     s.c,
+		Policy:          s.cfg.Policy,
+		Spatial:         s.cfg.Spatial,
+		Device:          s.cfg.Device,
+		Benchmarks:      names,
+		UptimeMS:        time.Since(s.startReal).Milliseconds(),
+		VirtualNowUS:    float64(s.vnow.Load()) / 1e3,
+		QueueLen:        len(s.submitCh),
+		QueueCap:        cap(s.submitCh),
+		MemoryFreeBytes: s.MemoryAvailable(),
+		Paused:          s.paused.Load(),
+		Sessions:        len(s.sessions),
+		Counters:        s.c,
 		// In-flight work keeps the invariant an inequality; at rest
 		// (drained or idle) it must hold with equality.
 		ExactlyOnceOK: s.c.Completed+s.c.SubmitErrors <= s.c.Enqueued,
@@ -304,11 +310,23 @@ func (s *Server) handleResume(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]bool{"paused": false})
 }
 
+// handleHealthz is pure liveness: it answers 200 for as long as the
+// process can serve HTTP, draining or not. A draining daemon is alive —
+// it is finishing accepted work — and restarting it on a failed liveness
+// probe would lose exactly that work.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is the routing signal: 503 from the instant drain begins
+// (before in-flight work finishes), so a load balancer or the flepgw
+// gateway stops routing new launches here immediately.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	if s.Draining() {
 		http.Error(w, "draining", http.StatusServiceUnavailable)
 		return
 	}
 	w.WriteHeader(http.StatusOK)
-	_, _ = w.Write([]byte("ok\n"))
+	_, _ = w.Write([]byte("ready\n"))
 }

@@ -345,6 +345,7 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 	if q.tasksOverride == 0 {
 		if solo := s.solo[soloKey{q.bench.Name, q.class}]; solo > 0 {
 			res.NTT = fv.Turnaround().Seconds() / solo.Seconds()
+			s.met.NTT.Observe(res.NTT)
 		}
 	}
 	s.met.Completed.Inc()

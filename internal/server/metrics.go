@@ -34,6 +34,12 @@ type serverMetrics struct {
 	// it (the backpressure signal).
 	RequestLatency *obs.Histogram
 	AdmissionWait  *obs.Histogram
+
+	// NTT is the per-completion solo-normalized turnaround (the paper's
+	// responsiveness currency): _sum/_count of this histogram is the
+	// daemon-side ANTT, so flepload (and a cluster gateway's per-node
+	// breakdown) can derive ANTT from metrics deltas alone.
+	NTT *obs.Histogram
 }
 
 // newServerMetrics registers the server metric families and the
@@ -56,6 +62,9 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Real time from enqueue to the handler receiving its result", nil),
 		AdmissionWait: reg.Histogram("flep_server_admission_wait_seconds",
 			"Real time a request spent in the bounded admission queue", nil),
+		NTT: reg.Histogram("flep_server_ntt",
+			"Solo-normalized turnaround per completed invocation (sum/count = ANTT)",
+			[]float64{1, 1.5, 2, 3, 5, 8, 13, 21, 34, 55, 100}),
 	}
 	reg.GaugeFunc("flep_server_queue_depth", "Launch requests waiting in the admission queue",
 		func() float64 { return float64(len(s.submitCh)) })
@@ -69,6 +78,8 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		})
 	reg.GaugeFunc("flep_server_virtual_time_seconds", "The simulation's virtual clock",
 		func() float64 { return s.VirtualNow().Seconds() })
+	reg.GaugeFunc("flep_server_loop_steps", "Simulation events stepped by the event loop",
+		func() float64 { return float64(s.Steps()) })
 	reg.GaugeFunc("flep_server_paused", "1 while the scheduler loop is parked",
 		func() float64 {
 			if s.paused.Load() {

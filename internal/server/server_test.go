@@ -460,12 +460,57 @@ func TestPauseResumeEndpointsAndHealthz(t *testing.T) {
 	if getStatus(t, ts.URL).Paused {
 		t.Fatal("resume endpoint did not resume")
 	}
-	resp, err = http.Get(ts.URL + "/healthz")
-	if err != nil {
-		t.Fatal(err)
+	for _, probe := range []string{"/healthz", "/readyz"} {
+		resp, err = http.Get(ts.URL + probe)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			t.Fatalf("%s = %d, want 200", probe, resp.StatusCode)
+		}
 	}
-	resp.Body.Close()
-	if resp.StatusCode != 200 {
-		t.Fatalf("healthz = %d", resp.StatusCode)
+}
+
+// The liveness/readiness split: /readyz flips to 503 the instant drain
+// begins — so a load balancer stops routing — while /healthz stays 200
+// for as long as the process serves HTTP (a draining daemon is alive by
+// definition; killing it over a failed liveness probe would abort the
+// drain it is performing).
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	// A pace slow enough that the drain is still in progress when we
+	// probe, fast enough that cleanup's 30s shutdown budget holds.
+	s, ts := newTestServer(t, Config{Pace: 2 * time.Millisecond})
+
+	probe := func(path string) int {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+	if code := probe("/readyz"); code != 200 {
+		t.Fatalf("pre-drain readyz = %d, want 200", code)
+	}
+
+	// Keep work in flight while the drain runs.
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		launch(t, ts.URL, LaunchRequest{Benchmark: "VA"})
+	}()
+	waitFor(t, "launch admitted", func() bool { return getStatus(t, ts.URL).Counters.Enqueued >= 1 })
+
+	go s.Shutdown(context.Background())
+	waitFor(t, "readyz to flip", func() bool { return probe("/readyz") == http.StatusServiceUnavailable })
+	if code := probe("/healthz"); code != 200 {
+		t.Fatalf("healthz during drain = %d, want 200 (liveness must not follow drain)", code)
+	}
+	// The in-flight launch still completes: drain refuses new work, it
+	// does not abandon admitted work.
+	<-done
+	if c := getStatus(t, ts.URL).Counters; c.Completed+c.SubmitErrors != c.Enqueued {
+		t.Fatalf("drain abandoned admitted work: %+v", c)
 	}
 }

@@ -28,6 +28,10 @@ type Entry struct {
 	// Device is the fleet shard the entry came from; 0 for a standalone
 	// runtime. Set by the aggregation layer, not by the recorder.
 	Device int `json:"device"`
+	// Node is the cluster node the entry came from; empty for a single
+	// flepd. Set by the gateway's aggregation layer, never by the recorder,
+	// so single-node traces marshal unchanged.
+	Node string `json:"node,omitempty"`
 }
 
 // Log collects entries in time order (the simulator is single-threaded, so
@@ -148,6 +152,57 @@ func (l *Log) WriteJSON(w io.Writer) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(l.snapshot())
+}
+
+// Merge k-way merges per-source trace streams into one global order.
+// Each input stream must already be time-ordered (the simulator appends
+// monotonically); the merge is then a deterministic O(n·k) head
+// comparison with a total tie-break: equal timestamps order by Node,
+// then by Device, and entries within one stream keep their append
+// order. The fleet layer merges per-shard streams (Node empty, so the
+// tie-break reduces to Device); the cluster gateway merges per-node
+// streams that are themselves fleet merges. A plain concat+sort gives
+// the same ordering only by accident of the sort's stability; the merge
+// makes the contract explicit and holds even if a caller hands it
+// streams assembled in a different order.
+func Merge(streams [][]Entry) []Entry {
+	total := 0
+	for _, s := range streams {
+		total += len(s)
+	}
+	// Heads walk each stream; pick the smallest (Time, Node, Device) each
+	// round.
+	idx := make([]int, len(streams))
+	out := make([]Entry, 0, total)
+	for len(out) < total {
+		best := -1
+		for i, s := range streams {
+			if idx[i] >= len(s) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			if entryLess(s[idx[i]], streams[best][idx[best]]) {
+				best = i
+			}
+		}
+		out = append(out, streams[best][idx[best]])
+		idx[best]++
+	}
+	return out
+}
+
+// entryLess is Merge's strict ordering: (Time, Node, Device).
+func entryLess(a, b Entry) bool {
+	if a.Time != b.Time {
+		return a.Time < b.Time
+	}
+	if a.Node != b.Node {
+		return a.Node < b.Node
+	}
+	return a.Device < b.Device
 }
 
 // GanttRow is one kernel's residency span on a set of SMs.

@@ -269,3 +269,40 @@ func TestLogLimitEvictsOldest(t *testing.T) {
 		t.Fatalf("dropped = %d, want 7", l.Dropped())
 	}
 }
+
+// Merge's tie-break is (Time, Node, Device): the cluster gateway merges
+// per-node streams whose entries collide on Time across nodes, and the
+// global order must still be deterministic regardless of stream order.
+func TestMergeNodeTieBreak(t *testing.T) {
+	e := func(node string, dev int, at time.Duration, kind string) Entry {
+		return Entry{Time: at, Node: node, Device: dev, Source: "runtime", Kind: kind}
+	}
+	streams := [][]Entry{
+		{e("n1", 0, 10, "c"), e("n1", 1, 10, "d"), e("n1", 0, 40, "g")},
+		{e("n0", 1, 10, "b"), e("n0", 0, 20, "e"), e("n0", 0, 40, "f")},
+		{e("n0", 0, 10, "a")},
+	}
+	got := Merge(streams)
+	want := []string{"a", "b", "c", "d", "e", "f", "g"}
+	if len(got) != len(want) {
+		t.Fatalf("merged %d entries, want %d", len(got), len(want))
+	}
+	for i, w := range want {
+		if got[i].Kind != w {
+			order := make([]string, len(got))
+			for j := range got {
+				order[j] = got[j].Kind
+			}
+			t.Fatalf("position %d: got %q, want %q (full order %v)", i, got[i].Kind, w, order)
+		}
+	}
+
+	// Stream order is irrelevant.
+	shuffled := [][]Entry{streams[2], streams[0], streams[1]}
+	got2 := Merge(shuffled)
+	for i := range got {
+		if got[i] != got2[i] {
+			t.Fatalf("merge depends on stream order at %d: %+v vs %+v", i, got[i], got2[i])
+		}
+	}
+}

@@ -1,0 +1,145 @@
+#!/usr/bin/env bash
+# Bench snapshot: saturate a single flepd, then a two-node flepgw
+# cluster, with identical closed-loop client load, and write BENCH_6.json
+# with sustained launches/sec, admission-wait p99, and event-loop step
+# rate for both — the cluster's scaling factor is the headline number.
+#
+# -pace makes each node's event loop spend real time per simulated
+# event, so serving is node-bound (as a real GPU would be) and the
+# clients saturate it; without it the HTTP client, not the nodes, is
+# the bottleneck and scaling would measure the wrong thing.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GW="${GW:-127.0.0.1:7470}"
+N0="${N0:-127.0.0.1:7471}"
+N1="${N1:-127.0.0.1:7472}"
+PACE="${PACE:-200us}"
+CLIENTS="${CLIENTS:-48}"
+PERC="${PERC:-20}"
+OUT="${OUT:-BENCH_6.json}"
+WORK="$(mktemp -d)"
+trap 'kill $(cat "$WORK"/*.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/flepd" ./cmd/flepd
+go build -o "$WORK/flepgw" ./cmd/flepgw
+go build -o "$WORK/flepload" ./cmd/flepload
+
+wait_ready() {
+    for _ in $(seq 150); do
+        curl -sf "$1" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    curl -sf "$1" >/dev/null
+}
+
+# ---- run A: one node, direct ----
+"$WORK/flepd" -addr "$N0" -bench VA,MM -pace "$PACE" >"$WORK/a-n0.log" 2>&1 &
+echo $! >"$WORK/a.pid"
+wait_ready "http://$N0/healthz"
+curl -s "http://$N0/metrics" >"$WORK/a-before.prom"
+"$WORK/flepload" -addr "http://$N0" -clients "$CLIENTS" -n "$PERC" \
+    -bench VA,MM -class small -seed 6 | tee "$WORK/a.out"
+curl -s "http://$N0/metrics" >"$WORK/a-after.prom"
+kill "$(cat "$WORK/a.pid")" && wait "$(cat "$WORK/a.pid")" 2>/dev/null || true
+rm "$WORK/a.pid"
+
+# ---- run B: two nodes behind the gateway, same client load ----
+"$WORK/flepd" -addr "$N0" -bench VA,MM -pace "$PACE" >"$WORK/b-n0.log" 2>&1 &
+echo $! >"$WORK/b0.pid"
+"$WORK/flepd" -addr "$N1" -bench VA,MM -pace "$PACE" >"$WORK/b-n1.log" 2>&1 &
+echo $! >"$WORK/b1.pid"
+"$WORK/flepgw" -listen "$GW" -nodes "$N0,$N1" >"$WORK/gw.log" 2>&1 &
+echo $! >"$WORK/gw.pid"
+wait_ready "http://$GW/readyz"
+curl -s "http://$GW/metrics" >"$WORK/b-before.prom"
+"$WORK/flepload" -addr "http://$GW" -clients "$CLIENTS" -n "$PERC" \
+    -bench VA,MM -class small -seed 6 | tee "$WORK/b.out"
+curl -s "http://$GW/metrics" >"$WORK/b-after.prom"
+
+python3 - "$WORK" "$OUT" "$PACE" "$CLIENTS" "$PERC" <<'EOF'
+import json, re, sys
+
+work, out, pace, clients, perc = sys.argv[1:6]
+
+def parse_prom(path):
+    """family (with _bucket suffix kept) -> list of (labels-dict, value)"""
+    series = {}
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r'^(\w+)(?:\{(.*)\})?\s+(\S+)$', line)
+        if not m:
+            continue
+        name, labels, val = m.group(1), m.group(2) or "", m.group(3)
+        lab = dict(re.findall(r'(\w+)="([^"]*)"', labels))
+        series.setdefault(name, []).append((lab, float(val)))
+    return series
+
+def family_sum(series, name, **match):
+    return sum(v for lab, v in series.get(name, [])
+               if all(lab.get(k) == str(w) for k, w in match.items()))
+
+def bucket_deltas(before, after, family):
+    """le -> count delta, summed over all series (devices, nodes)."""
+    def by_le(series):
+        acc = {}
+        for lab, v in series.get(family + "_bucket", []):
+            le = lab.get("le", "+Inf")
+            acc[le] = acc.get(le, 0.0) + v
+        return acc
+    b, a = by_le(before), by_le(after)
+    return {le: a.get(le, 0.0) - b.get(le, 0.0) for le in a}
+
+def p99(deltas):
+    """Interpolated p99 seconds from cumulative bucket deltas."""
+    finite = sorted(((float(le), c) for le, c in deltas.items() if le != "+Inf"))
+    total = deltas.get("+Inf", finite[-1][1] if finite else 0.0)
+    if total <= 0:
+        return 0.0
+    target = 0.99 * total
+    prev_le, prev_c = 0.0, 0.0
+    for le, c in finite:
+        if c >= target:
+            span = c - prev_c
+            frac = (target - prev_c) / span if span > 0 else 1.0
+            return prev_le + frac * (le - prev_le)
+        prev_le, prev_c = le, c
+    return finite[-1][0] if finite else 0.0
+
+def run_summary(tag):
+    text = open(f"{work}/{tag}.out").read()
+    ok = int(re.search(r'^requests:\s*ok=(\d+)', text, re.M).group(1))
+    tput = float(re.search(r'throughput ([\d.]+) launches/s', text).group(1))
+    wall = ok / tput if tput else 0.0
+    before = parse_prom(f"{work}/{tag}-before.prom")
+    after = parse_prom(f"{work}/{tag}-after.prom")
+    steps = family_sum(after, "flep_server_loop_steps") - family_sum(before, "flep_server_loop_steps")
+    return {
+        "launches": ok,
+        "throughput_launches_per_s": round(tput, 1),
+        "wall_s": round(wall, 3),
+        "admission_p99_s": round(p99(bucket_deltas(before, after, "flep_server_admission_wait_seconds")), 6),
+        "loop_steps_per_s": round(steps / wall, 1) if wall else 0.0,
+    }
+
+single, cluster = run_summary("a"), run_summary("b")
+scaling = cluster["throughput_launches_per_s"] / single["throughput_launches_per_s"]
+bench = {
+    "config": {
+        "workload": f"{clients} closed-loop clients x {perc} launches, VA+MM, class small",
+        "pace": pace,
+        "cluster": "2 flepd nodes behind flepgw",
+    },
+    "single_node": single,
+    "two_node_gateway": cluster,
+    "scaling_throughput": round(scaling, 2),
+}
+json.dump(bench, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(json.dumps(bench, indent=2))
+if scaling < 1.4:
+    sys.exit(f"bench snapshot FAILED: 2-node scaling {scaling:.2f} < 1.4 — gateway is not scaling")
+print(f"bench snapshot OK: wrote {out} (2-node scaling {scaling:.2f}x)")
+EOF

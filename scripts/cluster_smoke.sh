@@ -1,0 +1,163 @@
+#!/usr/bin/env bash
+# Cluster smoke: two flepd nodes behind a flepgw gateway, driven by
+# flepload through the gateway's single front door.
+#
+# Burst 1 (both nodes healthy) checks the strict ledger: for every node,
+# the gateway's terminal-response counts (gw_accepted + gw_failed +
+# gw_timed_out) equal the node's own enqueued counter, which equals
+# completed + submit_errors at rest — nothing lost, duplicated, or
+# double-counted across the routing layer. It also checks the merged
+# /v1/trace is in global (time, node, device) order.
+#
+# Burst 2 SIGKILLs one node mid-run. Every client must still see a 200
+# (the gateway retries transparently on its surviving preference), the
+# survivor's ledger must still reconcile exactly, and the gateway's
+# accepted counter must equal the clients' OK count.
+#
+# Everything is built with -race so the smoke also gates on the
+# gateway's routing/health concurrency.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+GW="${GW:-127.0.0.1:7460}"
+N0="${N0:-127.0.0.1:7461}"
+N1="${N1:-127.0.0.1:7462}"
+WORK="$(mktemp -d)"
+trap 'kill "$GW_PID" "$N0_PID" "$N1_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -race -o "$WORK/flepd" ./cmd/flepd
+go build -race -o "$WORK/flepgw" ./cmd/flepgw
+go build -race -o "$WORK/flepload" ./cmd/flepload
+
+# -pace stretches simulated work into real time so burst 2 is long
+# enough to kill a node in the middle of it.
+"$WORK/flepd" -addr "$N0" -bench VA,MM -trace -pace 500us >"$WORK/n0.log" 2>&1 &
+N0_PID=$!
+"$WORK/flepd" -addr "$N1" -bench VA,MM -trace -pace 500us >"$WORK/n1.log" 2>&1 &
+N1_PID=$!
+"$WORK/flepgw" -listen "$GW" -nodes "$N0,$N1" -health-interval 50ms >"$WORK/gw.log" 2>&1 &
+GW_PID=$!
+
+for _ in $(seq 150); do
+    curl -sf "http://$GW/readyz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$GW/readyz" >/dev/null
+
+accepted_total() {
+    curl -s "http://$GW/metrics" | awk '/^flep_gateway_accepted_total /{print int($2)}'
+}
+
+# ---- burst 1: both nodes healthy, strict per-node reconciliation ----
+"$WORK/flepload" -addr "http://$GW" -clients 16 -n 3 -bench VA,MM \
+    -class small -seed 7 | tee "$WORK/burst1.out"
+OK1=$(sed -n 's/^requests:[[:space:]]*ok=\([0-9]*\).*/\1/p' "$WORK/burst1.out")
+
+python3 - "$GW" "$OK1" <<'EOF'
+import json, sys, time, urllib.request
+
+gw, ok = sys.argv[1], int(sys.argv[2])
+get = lambda url: json.load(urllib.request.urlopen(url, timeout=5))
+
+nodes = get(f"http://{gw}/v1/nodes")
+problems = []
+total_accepted = 0
+for n in nodes:
+    # The gateway's health-cached status may lag; read the node directly
+    # and poll briefly for rest.
+    for _ in range(100):
+        st = get(n["addr"] + "/v1/status")
+        c = st["counters"]
+        if c["completed"] + c["submit_errors"] == c["enqueued"] and st["queue_len"] == 0:
+            break
+        time.sleep(0.1)
+    ledger = n["gw_accepted"] + n["gw_failed"] + n["gw_timed_out"]
+    total_accepted += n["gw_accepted"]
+    if n["state"] != "ready":
+        problems.append(f'node {n["id"]} state {n["state"]} != ready')
+    if c["enqueued"] == 0:
+        problems.append(f'node {n["id"]} served nothing — routing never spread')
+    if ledger != c["enqueued"]:
+        problems.append(f'node {n["id"]}: gateway ledger {ledger} != node enqueued {c["enqueued"]}')
+    if c["completed"] + c["submit_errors"] != c["enqueued"]:
+        problems.append(f'node {n["id"]} not at rest: {c}')
+if total_accepted != ok:
+    problems.append(f"gateway accepted {total_accepted} != client OKs {ok}")
+
+trace = get(f"http://{gw}/v1/trace")
+if not trace:
+    problems.append("merged /v1/trace is empty")
+keys = [(e["time_ns"], e.get("node", ""), e.get("device", 0)) for e in trace]
+if keys != sorted(keys):
+    problems.append("merged trace is not in global (time, node, device) order")
+if len({k[1] for k in keys}) < 2:
+    problems.append("merged trace names fewer than 2 nodes")
+
+if problems:
+    sys.exit("cluster smoke burst 1 FAILED:\n  " + "\n  ".join(problems))
+print(f"burst 1 OK: {ok} launches, per-node ledgers exact, trace merged from {len({k[1] for k in keys})} nodes")
+EOF
+
+# ---- burst 2: SIGKILL one node mid-run ----
+BASE=$(accepted_total)
+"$WORK/flepload" -addr "http://$GW" -clients 24 -n 6 -bench VA,MM \
+    -class small -seed 9 -verify-status=false >"$WORK/burst2.out" 2>&1 &
+LOAD_PID=$!
+
+# Kill n1 once the burst is demonstrably in flight.
+for _ in $(seq 400); do
+    cur=$(accepted_total)
+    [ $((cur - BASE)) -ge 20 ] && break
+    sleep 0.05
+done
+kill -9 "$N1_PID"
+wait "$LOAD_PID" || { cat "$WORK/burst2.out"; echo "cluster smoke burst 2 FAILED: flepload exited nonzero after node kill"; exit 1; }
+cat "$WORK/burst2.out"
+OK2=$(sed -n 's/^requests:[[:space:]]*ok=\([0-9]*\).*/\1/p' "$WORK/burst2.out")
+
+python3 - "$GW" "$OK2" "$BASE" <<'EOF'
+import json, sys, time, urllib.request
+
+gw, ok, base = sys.argv[1], int(sys.argv[2]), int(sys.argv[3])
+get = lambda url: json.load(urllib.request.urlopen(url, timeout=5))
+
+problems = []
+# The gateway must stay routable on its surviving node.
+urllib.request.urlopen(f"http://{gw}/readyz", timeout=5)
+
+nodes = {n["id"]: n for n in get(f"http://{gw}/v1/nodes")}
+down = [n for n in nodes.values() if n["state"] == "down"]
+ready = [n for n in nodes.values() if n["state"] == "ready"]
+if len(down) != 1 or len(ready) != 1:
+    problems.append(f'want 1 down + 1 ready node, got {[(n["id"], n["state"]) for n in nodes.values()]}')
+else:
+    survivor = ready[0]
+    for _ in range(100):
+        st = get(survivor["addr"] + "/v1/status")
+        c = st["counters"]
+        if c["completed"] + c["submit_errors"] == c["enqueued"] and st["queue_len"] == 0:
+            break
+        time.sleep(0.1)
+    # Re-read the ledger after rest so late completions are counted.
+    survivor = get(f"http://{gw}/v1/nodes")
+    survivor = next(n for n in survivor if n["id"] == ready[0]["id"])
+    ledger = survivor["gw_accepted"] + survivor["gw_failed"] + survivor["gw_timed_out"]
+    if ledger != c["enqueued"]:
+        problems.append(f'survivor {survivor["id"]}: gateway ledger {ledger} != node enqueued {c["enqueued"]}')
+    if c["completed"] + c["submit_errors"] != c["enqueued"]:
+        problems.append(f'survivor {survivor["id"]} never reached rest: {c}')
+
+metrics = urllib.request.urlopen(f"http://{gw}/metrics", timeout=5).read().decode()
+accepted = 0
+for line in metrics.splitlines():
+    if line.startswith("flep_gateway_accepted_total "):
+        accepted = int(float(line.split()[1]))
+if accepted - base != ok:
+    problems.append(f"gateway accepted delta {accepted - base} != client OKs {ok}")
+
+if problems:
+    sys.exit("cluster smoke burst 2 FAILED:\n  " + "\n  ".join(problems))
+print(f"burst 2 OK: {ok}/144 launches survived a node SIGKILL; survivor ledger exact, accepted delta matches")
+EOF
+
+echo "cluster smoke OK"
