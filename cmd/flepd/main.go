@@ -1,7 +1,11 @@
 // Command flepd is the FLEP scheduling daemon: it builds the offline
 // artifacts for the selected benchmarks at startup, then serves
 // kernel-launch requests from concurrent clients over HTTP, routing them
-// through the FLEP runtime engine (HPF or FFS) on the simulated K40.
+// through the FLEP runtime engine (HPF, FFS, or EDF) on the simulated
+// K40. Under -policy edf, launches carrying a deadline_ms SLO budget
+// are ordered earliest-deadline-first and may preempt best-effort work
+// when a deadline is at risk; admission control sheds best-effort
+// launches (429) while the queue threatens outstanding deadlines.
 // With -devices N it runs a fleet of N device shards behind one front
 // door: each shard owns its own simulated K40 and event loop, a
 // memory-aware least-loaded router places every admitted launch, and the
@@ -52,7 +56,7 @@ import (
 func main() {
 	var (
 		addr         = flag.String("addr", ":7450", "listen address")
-		policy       = flag.String("policy", "hpf", "scheduling policy: hpf, hpf-naive, ffs, or fifo")
+		policy       = flag.String("policy", "hpf", "scheduling policy: hpf, hpf-naive, ffs, fifo, or edf")
 		spatial      = flag.Bool("spatial", false, "enable spatial preemption (HPF only)")
 		spatialSMs   = flag.Int("spatial-sms", 0, "override yielded SM count for spatial preemption")
 		maxOverhead  = flag.Float64("max-overhead", 0.10, "FFS overhead budget")

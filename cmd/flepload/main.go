@@ -23,6 +23,13 @@
 // completions, so the daemon's admission queue and 429 backpressure are
 // exercised. 429s are retried after the server's Retry-After hint and
 // do not count as failures.
+//
+// -deadline marks launches latency-critical with that SLO budget
+// (virtual time from admission); -deadline-share makes only a fraction
+// of them so, leaving the rest best-effort — the one-command way to
+// drive a mixed LC/BE workload against an EDF daemon. The report then
+// adds client-observed SLO attainment, and the daemon deltas include
+// flep_slo_* and any best-effort launches shed by admission control.
 package main
 
 import (
@@ -46,12 +53,13 @@ import (
 // launchRequest mirrors server.LaunchRequest (flepload speaks only the
 // wire protocol; it does not import the server).
 type launchRequest struct {
-	Client    string  `json:"client,omitempty"`
-	Benchmark string  `json:"benchmark"`
-	Class     string  `json:"class,omitempty"`
-	Priority  int     `json:"priority,omitempty"`
-	Weight    float64 `json:"weight,omitempty"`
-	TimeoutMS int     `json:"timeout_ms,omitempty"`
+	Client     string  `json:"client,omitempty"`
+	Benchmark  string  `json:"benchmark"`
+	Class      string  `json:"class,omitempty"`
+	Priority   int     `json:"priority,omitempty"`
+	Weight     float64 `json:"weight,omitempty"`
+	TimeoutMS  int     `json:"timeout_ms,omitempty"`
+	DeadlineMS int     `json:"deadline_ms,omitempty"`
 }
 
 // launchResult mirrors server.LaunchResult.
@@ -64,6 +72,8 @@ type launchResult struct {
 	NTT          float64 `json:"ntt"`
 	Preemptions  int     `json:"preemptions"`
 	OverheadNS   int64   `json:"overhead_ns"`
+	SLO          string  `json:"slo"`
+	SLOMarginNS  int64   `json:"slo_margin_ns"`
 	Err          string  `json:"error"`
 }
 
@@ -94,6 +104,8 @@ type sample struct {
 	waiting     time.Duration
 	ntt         float64
 	preemptions int
+	slo         string // "attained"/"missed"; empty for best-effort
+	sloMargin   time.Duration
 }
 
 type stats struct {
@@ -115,6 +127,8 @@ func main() {
 		prioMix   = flag.String("prio", "1=0.5,2=0.5", "priority mix, e.g. 1=0.7,2=0.3")
 		timeout   = flag.Duration("timeout", 2*time.Minute, "per-request completion wait")
 		seed      = flag.Int64("seed", 1, "workload-mix random seed")
+		deadline  = flag.Duration("deadline", 0, "SLO budget per latency-critical launch in virtual time (0 = best-effort)")
+		dlShare   = flag.Float64("deadline-share", 1.0, "fraction of launches that carry the -deadline budget (rest stay best-effort)")
 		maxRetry  = flag.Int("max-retries", 200, "max 429 retries per launch")
 		record    = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
 		verifySrv = flag.Bool("verify-status", true, "reconcile server /v1/status counters after the run (disable when a cluster node is killed mid-run: the dead node's completions leave the gateway's summed view)")
@@ -173,8 +187,9 @@ func main() {
 				benches: benches, class: *class, mix: mix,
 				n: *perC, rate: *rate, timeout: *timeout,
 				maxRetry: *maxRetry,
-				rng:      rand.New(rand.NewSource(*seed + int64(c))),
-				rec:      recorder, runStart: start,
+				deadline: *deadline, dlShare: *dlShare,
+				rng: rand.New(rand.NewSource(*seed + int64(c))),
+				rec: recorder, runStart: start,
 			})
 		}(c)
 	}
@@ -271,6 +286,17 @@ func reportMetricsDeltas(before, after obs.Snapshot, wall time.Duration) {
 	if m, n := mean("flep_server_request_latency_seconds"); n > 0 {
 		fmt.Printf("  server:      %.0f results, mean real latency %v\n", n, secs(m))
 	}
+	if slo := d("flep_slo_attained_total") + d("flep_slo_missed_total"); slo > 0 {
+		line := fmt.Sprintf("  slo:         attained=%.0f missed=%.0f",
+			d("flep_slo_attained_total"), d("flep_slo_missed_total"))
+		if m, n := mean("flep_slo_margin_seconds"); n > 0 {
+			line += fmt.Sprintf(" mean-margin=%v", secs(m))
+		}
+		if shed := d("flep_server_launches_total", "outcome", "rejected_best_effort_shed"); shed > 0 {
+			line += fmt.Sprintf(" best-effort-shed=%.0f", shed)
+		}
+		fmt.Println(line)
+	}
 
 	// When the target is a flepgw gateway its /metrics carries every
 	// node's exposition relabeled with node=<id>; splitting the deltas by
@@ -309,6 +335,8 @@ type clientConfig struct {
 	rate     float64
 	timeout  time.Duration
 	maxRetry int
+	deadline time.Duration // SLO budget; zero = best-effort
+	dlShare  float64       // fraction of launches carrying the budget
 	rng      *rand.Rand
 	rec      *replay.Recorder // nil unless -record
 	runStart time.Time        // shared zero point for trace arrival offsets
@@ -331,6 +359,9 @@ func runClient(httpc *http.Client, st *stats, cc clientConfig) {
 			Class:     cc.class,
 			Priority:  pickPriority(cc.mix, cc.rng.Float64()),
 			TimeoutMS: int(cc.timeout / time.Millisecond),
+		}
+		if cc.deadline > 0 && cc.rng.Float64() < cc.dlShare {
+			req.DeadlineMS = int(cc.deadline / time.Millisecond)
 		}
 		launchOnce(httpc, st, cc, req)
 	}
@@ -376,21 +407,29 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 			waiting:     time.Duration(res.WaitingNS),
 			ntt:         res.NTT,
 			preemptions: res.Preemptions,
+			slo:         res.SLO,
+			sloMargin:   time.Duration(res.SLOMarginNS),
 		}
 		st.note(func() { st.samples = append(st.samples, s) })
 		if cc.rec != nil {
 			// Client-side traces record real arrival offsets (the daemon's
 			// virtual clock is not visible here), so they replay in timed
 			// mode only; Step stays zero.
+			sloClass := ""
+			if req.DeadlineMS > 0 {
+				sloClass = "latency"
+			}
 			cc.rec.Record(replay.Record{
-				At:       begin.Sub(cc.runStart).Nanoseconds(),
-				Device:   res.Device,
-				Node:     s.node,
-				Client:   cc.id,
-				Bench:    req.Benchmark,
-				Class:    req.Class,
-				Priority: req.Priority,
-				Weight:   req.Weight,
+				At:         begin.Sub(cc.runStart).Nanoseconds(),
+				Device:     res.Device,
+				Node:       s.node,
+				Client:     cc.id,
+				Bench:      req.Benchmark,
+				Class:      req.Class,
+				Priority:   req.Priority,
+				Weight:     req.Weight,
+				DeadlineNS: int64(req.DeadlineMS) * int64(time.Millisecond),
+				SLOClass:   sloClass,
 			})
 		}
 		return
@@ -446,6 +485,27 @@ func report(st *stats, wall time.Duration) {
 		percentile(turn, 50).Round(time.Microsecond), percentile(turn, 99).Round(time.Microsecond),
 		time.Duration(sumWait/float64(n)).Round(time.Microsecond))
 	fmt.Printf("ANTT:          %.3f   preemptions=%d\n", sumNTT/float64(n), preempts)
+
+	// SLO attainment over the deadline-bearing completions (absent when
+	// the run was pure best-effort).
+	var attained, missed int
+	var marginSum time.Duration
+	for _, s := range st.samples {
+		switch s.slo {
+		case "attained":
+			attained++
+		case "missed":
+			missed++
+		default:
+			continue
+		}
+		marginSum += s.sloMargin
+	}
+	if tracked := attained + missed; tracked > 0 {
+		fmt.Printf("SLO:           attained=%d missed=%d rate=%.1f%% mean-margin=%v (virtual)\n",
+			attained, missed, 100*float64(attained)/float64(tracked),
+			(marginSum / time.Duration(tracked)).Round(time.Microsecond))
+	}
 
 	// Per-node breakdown when the target is a flepgw cluster: each node's
 	// share of the completions, as seen from the client side via the

@@ -9,10 +9,17 @@
 //
 //	flepreplay record -o mix.trace -seed 7
 //	flepreplay record -o mix.trace -mix "hi:VA:small:2::40ms:60,lo:CFD:large:1::300ms:12"
+//	flepreplay record -o slo.trace -mix "lc:VA:small:1::2ms:40:10ms,batch:CFD:large:2::8ms:10"
 //	flepreplay replay -trace run.trace
 //	flepreplay replay -trace run.trace -policy ffs -devices 2 -json
 //	flepreplay replay -trace run.trace -save-models models.json
 //	flepreplay whatif -trace mix.trace -policies hpf,ffs,fifo -L 0,4,16
+//	flepreplay whatif -trace slo.trace -policies edf,hpf
+//
+// A mix tenant's trailing :DEADLINE (e.g. 10ms) marks its launches
+// latency-critical with that SLO budget; the summary then reports SLO
+// attainment and the what-if advisor scores it as a fourth axis (and
+// folds edf into the default policy set).
 //
 // Determinism contract: the same trace, configuration, and seed always
 // produce byte-identical JSON summaries (see DESIGN.md §10).
@@ -77,7 +84,7 @@ func cmdRecord(args []string) error {
 	fs := flag.NewFlagSet("record", flag.ExitOnError)
 	var (
 		out  = fs.String("o", "mix.trace", "output trace path")
-		mix  = fs.String("mix", "", "tenant specs CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT, comma-separated (empty = two-tenant demo)")
+		mix  = fs.String("mix", "", "tenant specs CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT[:DEADLINE], comma-separated (empty = two-tenant demo)")
 		seed = fs.Int64("seed", 1, "arrival-jitter seed")
 	)
 	fs.Parse(args)
@@ -108,7 +115,11 @@ func cmdRecord(args []string) error {
 	return nil
 }
 
-// parseMixSpecs parses "client:bench:class:prio[:weight]:period:count".
+// parseMixSpecs parses "client:bench:class:prio[:weight]:period:count[:deadline]".
+// A trailing deadline duration marks every one of the tenant's launches
+// latency-critical with that SLO budget; specifying one requires the
+// weight slot too (leave it empty for the default), so the positional
+// grammar stays unambiguous.
 func parseMixSpecs(s string) ([]replay.MixTenant, error) {
 	s = strings.TrimSpace(s)
 	if s == "" {
@@ -117,8 +128,8 @@ func parseMixSpecs(s string) ([]replay.MixTenant, error) {
 	var out []replay.MixTenant
 	for _, spec := range strings.Split(s, ",") {
 		f := strings.Split(strings.TrimSpace(spec), ":")
-		if len(f) != 6 && len(f) != 7 {
-			return nil, fmt.Errorf("bad mix spec %q (want CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT)", spec)
+		if len(f) < 6 || len(f) > 8 {
+			return nil, fmt.Errorf("bad mix spec %q (want CLIENT:BENCH:CLASS:PRIO[:WEIGHT]:PERIOD:COUNT[:DEADLINE])", spec)
 		}
 		ten := replay.MixTenant{Client: f[0], Bench: f[1], Class: f[2]}
 		prio, err := strconv.Atoi(f[3])
@@ -127,7 +138,7 @@ func parseMixSpecs(s string) ([]replay.MixTenant, error) {
 		}
 		ten.Priority = prio
 		rest := f[4:]
-		if len(f) == 7 {
+		if len(f) >= 7 {
 			if f[4] != "" {
 				w, err := strconv.ParseFloat(f[4], 64)
 				if err != nil || w < 0 {
@@ -147,6 +158,13 @@ func parseMixSpecs(s string) ([]replay.MixTenant, error) {
 			return nil, fmt.Errorf("bad count in %q: %v", spec, err)
 		}
 		ten.Count = count
+		if len(rest) == 3 {
+			d, err := time.ParseDuration(rest[2])
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("bad deadline in %q (want a positive duration like 10ms)", spec)
+			}
+			ten.Deadline = d
+		}
 		out = append(out, ten)
 	}
 	return out, nil
@@ -156,7 +174,7 @@ func cmdReplay(args []string) error {
 	fs := flag.NewFlagSet("replay", flag.ExitOnError)
 	var (
 		tracePath  = fs.String("trace", "", "trace path (rotated segments path.N are merged in)")
-		policy     = fs.String("policy", "", "override policy: hpf, hpf-naive, ffs, fifo (empty = as recorded)")
+		policy     = fs.String("policy", "", "override policy: hpf, hpf-naive, ffs, fifo, edf (empty = as recorded)")
 		devices    = fs.Int("devices", 0, "override device count (0 = as recorded)")
 		lOverride  = fs.Int("L", 0, "override the amortizing factor for every kernel (0 = tuned)")
 		spa        = fs.Int("spa", 0, "spatial preemption: >0 enables with that many yielded SMs, -1 forces off, 0 = as recorded")
@@ -214,7 +232,7 @@ func cmdWhatIf(args []string) error {
 	fs := flag.NewFlagSet("whatif", flag.ExitOnError)
 	var (
 		tracePath = fs.String("trace", "", "trace path (rotated segments path.N are merged in)")
-		policies  = fs.String("policies", "", "policies axis, comma-separated (empty = hpf,ffs,fifo)")
+		policies  = fs.String("policies", "", "policies axis, comma-separated (empty = hpf,ffs,fifo, plus edf when the trace carries deadlines)")
 		devices   = fs.String("devices", "", "device-count axis, comma-separated ints (empty = as recorded)")
 		ls        = fs.String("L", "", "amortizing-factor axis, comma-separated ints (0 = tuned)")
 		spas      = fs.String("spa", "", "spatial axis, comma-separated ints (>0 = yielded SMs, -1 = off, 0 = as recorded)")

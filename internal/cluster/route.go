@@ -264,6 +264,12 @@ func (g *Gateway) record(nodeID, client string, req server.LaunchRequest, respBo
 	if err := json.Unmarshal(respBody, &res); err == nil {
 		device = res.Device
 	}
+	var deadlineNS int64
+	sloClass := ""
+	if req.DeadlineMS > 0 {
+		deadlineNS = int64(req.DeadlineMS) * int64(time.Millisecond)
+		sloClass = "latency"
+	}
 	g.rec.Record(replay.Record{
 		At:            time.Since(g.startReal).Nanoseconds(),
 		Device:        device,
@@ -274,6 +280,8 @@ func (g *Gateway) record(nodeID, client string, req server.LaunchRequest, respBo
 		Priority:      req.Priority,
 		Weight:        req.Weight,
 		TasksOverride: req.TasksOverride,
+		DeadlineNS:    deadlineNS,
+		SLOClass:      sloClass,
 	})
 }
 

@@ -1,0 +1,190 @@
+package flepruntime
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"flep/internal/sim"
+)
+
+// EDF is the SLO tier's deadline policy: earliest-deadline-first over
+// invocations that carry a virtual-time deadline, with best-effort
+// (deadline-free) work ordered behind them by (priority desc, arrival).
+// It is deliberately lazy about preemption — the paper's machinery makes
+// preemption cheap, not free — so a deadline-bearing arrival preempts
+// the running kernel only when its deadline is actually at risk AND
+// paying the drain still lets it meet (GCAPS-style deadline scheduling
+// with FLEP's cost model):
+//
+//   - wait would miss:   now + Tr(running) + Tr(best) > Deadline(best)
+//   - preempt would meet: now + O(running) + Tr(best) ≤ Deadline(best)
+//
+// Best-effort work never preempts anything. Because a queued deadline
+// can drift into risk with no arrival or completion to re-trigger
+// scheduling, EDF arms a risk timer at the head deadline's latest safe
+// preemption instant (Deadline − Tr − O(running)); when it fires, the
+// reconcile loop re-evaluates and the preemption rule above takes over.
+type EDF struct {
+	rt    *Runtime
+	queue []*Invocation
+
+	// riskTimer is the armed latest-safe-preemption event for the
+	// earliest queued deadline; riskSeq invalidates superseded timers
+	// (the FFS epoch-timer pattern, so dead events never accrete in the
+	// engine and never fire stale).
+	riskTimer *sim.Event
+	riskSeq   int
+}
+
+// NewEDF returns the earliest-deadline-first policy.
+func NewEDF() *EDF { return &EDF{} }
+
+// Name implements Policy.
+func (e *EDF) Name() string { return "EDF" }
+
+// bind gives the policy its runtime (called by Runtime's constructor).
+func (e *EDF) bind(r *Runtime) { e.rt = r }
+
+// edfBefore reports whether v sorts strictly before q: deadline-bearing
+// work first in deadline order, then best-effort by (priority desc,
+// arrival). Equal keys are not "before", so a binary insert lands ties
+// after existing entries (FIFO tie-break).
+func edfBefore(v, q *Invocation) bool {
+	vd, qd := v.Deadline > 0, q.Deadline > 0
+	if vd != qd {
+		return vd
+	}
+	if vd {
+		return v.Deadline < q.Deadline
+	}
+	return v.Priority > q.Priority
+}
+
+// Enqueue inserts keeping the queue in EDF order (O(log n) search, one
+// tail copy), then re-arms the risk timer: the new head deadline may be
+// tighter than the one the current timer guards.
+func (e *EDF) Enqueue(v *Invocation) {
+	i := sort.Search(len(e.queue), func(i int) bool { return edfBefore(v, e.queue[i]) })
+	e.queue = append(e.queue, nil)
+	copy(e.queue[i+1:], e.queue[i:])
+	e.queue[i] = v
+	e.rearm()
+}
+
+// Peek implements Policy.
+func (e *EDF) Peek() *Invocation {
+	if len(e.queue) == 0 {
+		return nil
+	}
+	return e.queue[0]
+}
+
+// Dequeue implements Policy.
+func (e *EDF) Dequeue(v *Invocation) {
+	for i, q := range e.queue {
+		if q == v {
+			e.queue = append(e.queue[:i], e.queue[i+1:]...)
+			e.rearm()
+			return
+		}
+	}
+}
+
+// ShouldPreempt applies the cost-of-preemption-aware EDF rule described
+// on the type. Best-effort candidates never preempt; a deadline-bearing
+// candidate preempts only a later-deadline (or deadline-free) victim,
+// only when waiting would miss, and only when draining still meets.
+func (e *EDF) ShouldPreempt(r *Runtime, running, best *Invocation) bool {
+	if best.Deadline <= 0 {
+		return false
+	}
+	if running.Deadline > 0 && running.Deadline <= best.Deadline {
+		return false // EDF order: the victim's deadline is at least as urgent
+	}
+	now := r.Device().Now()
+	running.chargeRun(now)
+	if now+running.Tr+best.Tr <= best.Deadline {
+		return false // waiting still meets: the drain would be pure overhead
+	}
+	return now+r.OverheadFor(running)+best.Tr <= best.Deadline
+}
+
+// OnDispatch re-arms the risk timer for the next queued deadline: the
+// runner just changed, so the latest safe preemption instant (which
+// depends on the runner's drain cost) changed with it.
+func (e *EDF) OnDispatch(r *Runtime, v *Invocation) { e.rearm() }
+
+// Queued implements Policy.
+func (e *EDF) Queued() []*Invocation { return e.queue }
+
+// Pending returns the queued invocation count (for tests).
+func (e *EDF) Pending() int { return len(e.queue) }
+
+// firstDeadline returns the earliest-deadline queued invocation (the
+// queue head when any deadline work waits), or nil.
+func (e *EDF) firstDeadline() *Invocation {
+	if len(e.queue) == 0 || e.queue[0].Deadline <= 0 {
+		return nil
+	}
+	return e.queue[0]
+}
+
+// rearm (re)schedules the risk timer at the queued head deadline's
+// latest safe preemption instant. With nothing running the reconcile
+// loop dispatches immediately, and with no queued deadline there is
+// nothing to guard — both cases just cancel any armed timer.
+func (e *EDF) rearm() {
+	if e.rt == nil {
+		return
+	}
+	e.riskSeq++
+	now := e.rt.Device().Now()
+	if e.riskTimer != nil && !e.riskTimer.Canceled() && e.riskTimer.When() > now {
+		e.riskTimer.Cancel()
+	}
+	e.riskTimer = nil
+	head := e.firstDeadline()
+	if head == nil {
+		return
+	}
+	running := e.rt.Running()
+	if running == nil {
+		return
+	}
+	at := head.Deadline - head.Tr - e.rt.OverheadFor(running)
+	if at < now {
+		at = now
+	}
+	seq := e.riskSeq
+	e.riskTimer = e.rt.Device().Engine().At(at, func() { e.onRisk(seq) })
+}
+
+// onRisk fires at the latest safe preemption instant: re-enter the
+// reconcile loop so ShouldPreempt decides with the deadline now at
+// risk. It does not re-arm itself — every state change that could
+// matter (enqueue, dequeue, dispatch) re-arms, so a no-op firing (e.g.
+// mid-drain) cannot spin at one timestamp.
+func (e *EDF) onRisk(seq int) {
+	if seq != e.riskSeq {
+		return
+	}
+	e.riskTimer = nil
+	if head := e.firstDeadline(); head != nil {
+		e.rt.log("edf-risk", head.Kernel,
+			fmt.Sprintf("id=%d deadline=%v at risk", head.ID, head.Deadline))
+	}
+	e.rt.schedule()
+}
+
+// Deadline slack helpers shared with the server's admission path.
+
+// SlackFor reports how much virtual time remains between "dispatch best
+// now" and its deadline: Deadline − now − Tr. Negative slack means the
+// deadline is already unmeetable even on an idle GPU.
+func SlackFor(v *Invocation, now time.Duration) time.Duration {
+	if v.Deadline <= 0 {
+		return 0
+	}
+	return v.Deadline - now - v.Tr
+}

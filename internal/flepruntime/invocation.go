@@ -55,6 +55,13 @@ type Invocation struct {
 	// state stays on the device, §8).
 	WorkingSet int64
 
+	// Deadline is the invocation's absolute virtual-time deadline (the
+	// SLO tier's currency). Zero means best-effort: no deadline, and EDF
+	// orders it after every deadline-bearing invocation. The runtime
+	// never enforces it — missing a deadline is an SLO accounting event,
+	// not an execution error — but EDF schedules against it.
+	Deadline time.Duration
+
 	// Te is the predicted duration (never updated after submission).
 	Te time.Duration
 	// Tw is the accumulated waiting time.

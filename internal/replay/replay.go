@@ -117,9 +117,9 @@ func (rp *Replayer) System() *core.System { return rp.sys }
 // recorded": the header's policy and device count, recorded placement,
 // and step-exact timing when the trace supports it.
 type ReplayConfig struct {
-	// Policy overrides the scheduling policy: hpf, hpf-naive, ffs, or
-	// fifo (the non-preemptive baseline). Empty = the trace header's
-	// policy (hpf if the header has none).
+	// Policy overrides the scheduling policy: hpf, hpf-naive, ffs, fifo
+	// (the non-preemptive baseline), or edf (deadline-first). Empty = the
+	// trace header's policy (hpf if the header has none).
 	Policy string
 	// Spatial / SpatialSMs / MaxOverhead / Weights override the
 	// corresponding recorded scheduler knobs. SpatialSMs is the paper's
@@ -222,8 +222,10 @@ func newPolicy(cfg ReplayConfig) (flepruntime.Policy, *flepruntime.FFS, error) {
 		return f, f, nil
 	case "fifo":
 		return flepruntime.NewFIFO(), nil, nil
+	case "edf":
+		return flepruntime.NewEDF(), nil, nil
 	}
-	return nil, nil, fmt.Errorf("replay: unknown policy %q (want hpf, hpf-naive, ffs, or fifo)", cfg.Policy)
+	return nil, nil, fmt.Errorf("replay: unknown policy %q (want hpf, hpf-naive, ffs, fifo, or edf)", cfg.Policy)
 }
 
 // devRun is one replayed device shard: engine, device, runtime, and the
@@ -248,6 +250,9 @@ type outcome struct {
 	waiting     time.Duration
 	finishedAt  time.Duration
 	preemptions int
+	// deadline is the absolute virtual-time deadline (submission time plus
+	// the record's budget); zero for best-effort records.
+	deadline time.Duration
 }
 
 // parseClass maps a record's class name (replay mirrors the server's
@@ -333,8 +338,18 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 			L = eff.L
 		}
 		o := &outcome{rec: rec, device: devIdx, te: te}
+		// Re-apply the recorded SLO budget relative to the replayed
+		// submission instant, mirroring the daemon's admit path: the
+		// deadline is a virtual-time budget from admission, not an
+		// absolute timestamp, so it survives timing divergence.
+		var deadline time.Duration
+		if rec.DeadlineNS > 0 {
+			deadline = d.eng.Now() + time.Duration(rec.DeadlineNS)
+			o.deadline = deadline
+		}
 		v := &flepruntime.Invocation{
 			Kernel:     rec.Bench,
+			Deadline:   deadline,
 			Priority:   rec.Priority,
 			Profile:    a.Profile,
 			Tasks:      in.Tasks,

@@ -1,0 +1,180 @@
+package replay
+
+import (
+	"bytes"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// The SLO contention mix: a latency-critical tenant with a deadline on
+// every launch but LOW priority, against a high-priority batch tenant
+// whose large CFD launches occupy the device. Priority order and
+// deadline order deliberately disagree: HPF serves the batch tenant
+// first and lets the deadlines slip, EDF orders by deadline and
+// rescues them — the sharpest possible separation for the what-if
+// SLO axis.
+var (
+	sloOnce sync.Once
+	sloTr   *Trace
+	sloRp   *Replayer
+	sloErr  error
+)
+
+func sloMixTenants() []MixTenant {
+	return []MixTenant{
+		{Client: "lc", Bench: "VA", Class: "small", Priority: 1,
+			Period: 2 * time.Millisecond, Count: 40, Deadline: 10 * time.Millisecond},
+		{Client: "batch", Bench: "CFD", Class: "large", Priority: 2,
+			Period: 8 * time.Millisecond, Count: 10},
+	}
+}
+
+func sloMixReplayer(t *testing.T) (*Trace, *Replayer) {
+	t.Helper()
+	sloOnce.Do(func() {
+		sloTr, sloErr = SynthesizeMix(sloMixTenants(), 11)
+		if sloErr != nil {
+			return
+		}
+		sloRp, sloErr = NewReplayer(sloTr, ReplayerOptions{})
+	})
+	if sloErr != nil {
+		t.Fatalf("building SLO mix replayer: %v", sloErr)
+	}
+	return sloTr, sloRp
+}
+
+// SynthesizeMix stamps the SLO fields onto every latency-tenant record
+// and leaves best-effort records untouched.
+func TestSynthesizeMixCarriesDeadlines(t *testing.T) {
+	tr, _ := sloMixReplayer(t)
+	lc, be := 0, 0
+	for _, r := range tr.Records {
+		switch r.Client {
+		case "lc":
+			lc++
+			if r.DeadlineNS != int64(10*time.Millisecond) || r.SLOClass != "latency" {
+				t.Fatalf("lc record %d: deadline=%d class=%q", r.Seq, r.DeadlineNS, r.SLOClass)
+			}
+		case "batch":
+			be++
+			if r.DeadlineNS != 0 || r.SLOClass != "" {
+				t.Fatalf("batch record %d carries SLO fields: deadline=%d class=%q", r.Seq, r.DeadlineNS, r.SLOClass)
+			}
+		}
+	}
+	if lc != 40 || be != 10 {
+		t.Fatalf("mix has lc=%d be=%d records", lc, be)
+	}
+	if !traceHasDeadlines(tr) {
+		t.Fatal("traceHasDeadlines is false for a deadline-bearing trace")
+	}
+}
+
+// Determinism contract extends to the SLO tier: the deadline-bearing
+// trace replays byte-identically under EDF, and the summary's SLO
+// accounting partitions exactly (tracked = attained + missed = every
+// deadline-bearing record).
+func TestSLOReplayByteIdenticalUnderEDF(t *testing.T) {
+	tr, rp := sloMixReplayer(t)
+	cfg := ReplayConfig{Policy: "edf", Seed: 11}
+	s1, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	s2, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if b1, b2 := mustJSON(t, s1), mustJSON(t, s2); !bytes.Equal(b1, b2) {
+		t.Fatalf("EDF replay of a deadline trace not byte-identical\n%s\n%s", b1, b2)
+	}
+	if s1.Completed != len(tr.Records) {
+		t.Fatalf("completed %d of %d records", s1.Completed, len(tr.Records))
+	}
+	if s1.SLOTracked != 40 || s1.SLOAttained+s1.SLOMissed != s1.SLOTracked {
+		t.Fatalf("SLO accounting does not partition: tracked=%d attained=%d missed=%d",
+			s1.SLOTracked, s1.SLOAttained, s1.SLOMissed)
+	}
+	var lcTen, beTen *TenantSummary
+	for i := range s1.Tenants {
+		switch s1.Tenants[i].Client {
+		case "lc":
+			lcTen = &s1.Tenants[i]
+		case "batch":
+			beTen = &s1.Tenants[i]
+		}
+	}
+	if lcTen == nil || beTen == nil {
+		t.Fatalf("missing tenant rows: %+v", s1.Tenants)
+	}
+	if lcTen.SLOAttained+lcTen.SLOMissed != 40 {
+		t.Fatalf("lc tenant SLO rows: attained=%d missed=%d", lcTen.SLOAttained, lcTen.SLOMissed)
+	}
+	if beTen.SLOAttained != 0 || beTen.SLOMissed != 0 || beTen.SLOAttainRate != 0 {
+		t.Fatalf("best-effort tenant gained SLO accounting: %+v", beTen)
+	}
+}
+
+// A deadline-free trace must summarize without any SLO keys at all —
+// the omitempty contract that keeps pre-SLO summaries byte-identical.
+func TestDeadlineFreeSummaryHasNoSLOKeys(t *testing.T) {
+	_, rp := mixReplayer(t)
+	s, err := rp.Run(ReplayConfig{Policy: "hpf", Seed: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b := mustJSON(t, s); bytes.Contains(b, []byte(`"slo_`)) {
+		t.Fatalf("deadline-free summary leaks SLO keys:\n%s", b)
+	}
+}
+
+// The acceptance scenario for the SLO axis: on a deadline-heavy trace
+// the what-if advisor folds EDF into the default policy set, EDF
+// strictly beats HPF on attainment (deadlines disagree with priority
+// order here, so priority-first scheduling lets them slip), and the
+// findings prose states it. The whole comparison stays deterministic.
+func TestWhatIfSLOAxisRanksEDFAboveHPF(t *testing.T) {
+	_, rp := sloMixReplayer(t)
+	cmp, err := rp.WhatIf(Matrix{Seed: 11})
+	if err != nil {
+		t.Fatalf("WhatIf: %v", err)
+	}
+	byPolicy := map[string]*Summary{}
+	for i := range cmp.Cells {
+		byPolicy[cmp.Cells[i].Policy] = cmp.Cells[i].Summary
+	}
+	edf, hpf := byPolicy["edf"], byPolicy["hpf"]
+	if edf == nil {
+		t.Fatalf("default matrix on a deadline trace omits edf: %v", cmp.Ranking)
+	}
+	if hpf == nil {
+		t.Fatalf("default matrix omits hpf: %v", cmp.Ranking)
+	}
+	if edf.SLOTracked != 40 || hpf.SLOTracked != 40 {
+		t.Fatalf("SLO tracking differs across cells: edf=%d hpf=%d", edf.SLOTracked, hpf.SLOTracked)
+	}
+	if edf.SLOAttainRate <= hpf.SLOAttainRate {
+		t.Fatalf("EDF attain rate %.3f not above HPF %.3f on a deadline-heavy trace",
+			edf.SLOAttainRate, hpf.SLOAttainRate)
+	}
+	var stated bool
+	for _, f := range cmp.Findings {
+		if strings.HasPrefix(f, "EDF attains") {
+			stated = true
+		}
+	}
+	if !stated {
+		t.Fatalf("findings do not state the EDF-vs-HPF attainment gap: %q", cmp.Findings)
+	}
+
+	cmp2, err := rp.WhatIf(Matrix{Seed: 11})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(mustJSON(t, cmp), mustJSON(t, cmp2)) {
+		t.Fatal("SLO what-if comparison not byte-identical across runs")
+	}
+}

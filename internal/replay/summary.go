@@ -41,6 +41,16 @@ type Summary struct {
 	// even slowdowns, 1/n = one tenant absorbs all of it.
 	Fairness float64 `json:"fairness"`
 
+	// SLO tier, populated only when the trace carries deadline-bearing
+	// records (every field is omitempty so pre-SLO traces summarize to
+	// byte-identical JSON). SLOTracked = attained + missed; the margin is
+	// mean virtual time from completion to deadline (negative = late).
+	SLOTracked      int     `json:"slo_tracked,omitempty"`
+	SLOAttained     int     `json:"slo_attained,omitempty"`
+	SLOMissed       int     `json:"slo_missed,omitempty"`
+	SLOAttainRate   float64 `json:"slo_attain_rate,omitempty"`
+	SLOMeanMarginNS int64   `json:"slo_mean_margin_ns,omitempty"`
+
 	// Preemption behaviour: realized preemption count and the drain
 	// latency distribution (flag raise → drain complete), exact — not
 	// bucketed — thanks to the runtime's OnPreemptDrained hook.
@@ -72,6 +82,11 @@ type TenantSummary struct {
 	MeanNTT          float64 `json:"mean_ntt"`
 	MeanTurnaroundNS int64   `json:"mean_turnaround_ns"`
 	MeanWaitNS       int64   `json:"mean_wait_ns"`
+	// SLO attainment for this tenant's deadline-bearing launches
+	// (omitted for pure best-effort tenants).
+	SLOAttained   int     `json:"slo_attained,omitempty"`
+	SLOMissed     int     `json:"slo_missed,omitempty"`
+	SLOAttainRate float64 `json:"slo_attain_rate,omitempty"`
 }
 
 // Divergence counts where the replay departed from the recorded run.
@@ -103,6 +118,7 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 	var makespan time.Duration
 	var nttSum float64
 	var nttN int
+	var sloMarginSum time.Duration
 
 	for _, o := range outcomes {
 		if o.finishedAt > makespan {
@@ -119,6 +135,7 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 			prios[o.rec.Priority] = pa
 		}
 		ntt, hasNTT := rp.ntt(o)
+		attained := o.deadline > 0 && o.finishedAt <= o.deadline
 		for _, a := range []*acc{ta, pa} {
 			a.completed++
 			a.preemptions += o.preemptions
@@ -131,10 +148,25 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 				a.nttSum += ntt
 				a.nttN++
 			}
+			if o.deadline > 0 {
+				if attained {
+					a.sloAttained++
+				} else {
+					a.sloMissed++
+				}
+			}
 		}
 		if hasNTT {
 			nttSum += ntt
 			nttN++
+		}
+		if o.deadline > 0 {
+			if attained {
+				sum.SLOAttained++
+			} else {
+				sum.SLOMissed++
+			}
+			sloMarginSum += o.deadline - o.finishedAt
 		}
 		sum.Preemptions += o.preemptions
 	}
@@ -145,6 +177,11 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 	}
 	if nttN > 0 {
 		sum.ANTT = nttSum / float64(nttN)
+	}
+	sum.SLOTracked = sum.SLOAttained + sum.SLOMissed
+	if sum.SLOTracked > 0 {
+		sum.SLOAttainRate = float64(sum.SLOAttained) / float64(sum.SLOTracked)
+		sum.SLOMeanMarginNS = int64(sloMarginSum) / int64(sum.SLOTracked)
 	}
 
 	// Per-priority rows, ascending; the top level doubles as the
@@ -192,6 +229,11 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 			jainSq += ts.MeanNTT * ts.MeanNTT
 			jainN++
 		}
+		if n := a.sloAttained + a.sloMissed; n > 0 {
+			ts.SLOAttained = a.sloAttained
+			ts.SLOMissed = a.sloMissed
+			ts.SLOAttainRate = float64(a.sloAttained) / float64(n)
+		}
 		sum.Tenants = append(sum.Tenants, ts)
 	}
 	if jainN > 0 && jainSq > 0 {
@@ -237,6 +279,8 @@ type acc struct {
 	nttN        int
 	turnSum     time.Duration
 	waitSum     time.Duration
+	sloAttained int
+	sloMissed   int
 }
 
 // percentile returns the q-quantile of ascending-sorted durations using
@@ -271,14 +315,22 @@ func (s *Summary) RenderText(w io.Writer) {
 		s.ThroughputPerSec, s.ANTT, s.HighPriority, s.HighPrioANTT, s.Fairness)
 	fmt.Fprintf(w, "  preemptions=%d drain p50=%v p90=%v p99=%v\n",
 		s.Preemptions, time.Duration(s.DrainP50NS), time.Duration(s.DrainP90NS), time.Duration(s.DrainP99NS))
+	if s.SLOTracked > 0 {
+		fmt.Fprintf(w, "  slo: attained=%d missed=%d rate=%.4f mean-margin=%v\n",
+			s.SLOAttained, s.SLOMissed, s.SLOAttainRate, time.Duration(s.SLOMeanMarginNS))
+	}
 	for _, p := range s.PerPriority {
 		fmt.Fprintf(w, "  priority %d: completed=%d ANTT=%.4f preemptions=%d\n",
 			p.Priority, p.Completed, p.ANTT, p.Preemptions)
 	}
 	for _, t := range s.Tenants {
-		fmt.Fprintf(w, "  tenant %-12s completed=%d preempted=%d preemptions=%d meanNTT=%.4f meanTurn=%v meanWait=%v\n",
+		fmt.Fprintf(w, "  tenant %-12s completed=%d preempted=%d preemptions=%d meanNTT=%.4f meanTurn=%v meanWait=%v",
 			t.Client, t.Completed, t.Preempted, t.Preemptions, t.MeanNTT,
 			time.Duration(t.MeanTurnaroundNS), time.Duration(t.MeanWaitNS))
+		if t.SLOAttained+t.SLOMissed > 0 {
+			fmt.Fprintf(w, " slo=%d/%d", t.SLOAttained, t.SLOAttained+t.SLOMissed)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	if d := s.Divergence; d.TePrediction+d.StepShortfall+d.Placement+d.SubmitErrors > 0 {
 		fmt.Fprintf(w, "  divergence: te=%d step=%d placement=%d submit=%d\n",

@@ -132,6 +132,15 @@ type Record struct {
 	Block      int   `json:"block,omitempty"`
 	WorkingSet int64 `json:"working_set,omitempty"`
 	Te         int64 `json:"te_ns,omitempty"`
+
+	// DeadlineNS is the launch's SLO budget in virtual nanoseconds from
+	// admission (zero = best-effort) and SLOClass its tier name
+	// ("latency"; empty for best-effort). Replay re-applies the budget at
+	// submission, so SLO attainment is reproducible and scoreable across
+	// what-if configurations. Both are omitted for best-effort launches,
+	// keeping pre-SLO traces byte-identical.
+	DeadlineNS int64  `json:"deadline_ns,omitempty"`
+	SLOClass   string `json:"slo_class,omitempty"`
 }
 
 // Trace is a loaded trace: header plus records in admission (Seq) order.

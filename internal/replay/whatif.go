@@ -30,6 +30,11 @@ type Matrix struct {
 func (m Matrix) withDefaults(t *Trace) Matrix {
 	if len(m.Policies) == 0 {
 		m.Policies = []string{"hpf", "ffs", "fifo"}
+		// A trace carrying SLO deadlines makes EDF a serious contender;
+		// fold it into the default comparison set.
+		if traceHasDeadlines(t) {
+			m.Policies = append([]string{"edf"}, m.Policies...)
+		}
 	}
 	if len(m.Devices) == 0 {
 		d := t.Header.Devices
@@ -139,12 +144,28 @@ func (rp *Replayer) WhatIf(m Matrix) (*Comparison, error) {
 	cmp.Recommendation = fmt.Sprintf(
 		"%s — best combined score %.3f (throughput %.3f/s, high-priority ANTT %.3f, fairness %.3f)",
 		top.Name, top.Score, top.Summary.ThroughputPerSec, top.Summary.HighPrioANTT, top.Summary.Fairness)
+	if top.Summary.SLOTracked > 0 {
+		cmp.Recommendation += fmt.Sprintf(", SLO attainment %.1f%%", 100*top.Summary.SLOAttainRate)
+	}
 	return cmp, nil
 }
 
+// traceHasDeadlines reports whether any record carries an SLO budget.
+func traceHasDeadlines(t *Trace) bool {
+	for _, r := range t.Records {
+		if r.DeadlineNS > 0 {
+			return true
+		}
+	}
+	return false
+}
+
 // score assigns each cell a weighted normalized score: throughput up,
-// high-priority ANTT down, fairness up. Min-max normalization across the
-// matrix keeps the weights meaningful regardless of workload scale.
+// high-priority ANTT down, fairness up — and, when the trace carries
+// SLO deadlines, attainment up as a fourth axis (nothing is worth much
+// if the latency tier is blowing its deadlines). Min-max normalization
+// across the matrix keeps the weights meaningful regardless of workload
+// scale; deadline-free traces score exactly as before.
 func score(cells []Cell) {
 	if len(cells) == 0 {
 		return
@@ -176,8 +197,22 @@ func score(cells []Cell) {
 	tp := norm(func(s *Summary) float64 { return s.ThroughputPerSec }, false)
 	antt := norm(func(s *Summary) float64 { return s.HighPrioANTT }, true)
 	fair := norm(func(s *Summary) float64 { return s.Fairness }, false)
+	hasSLO := false
 	for i := range cells {
-		cells[i].Score = 0.40*tp[i] + 0.40*antt[i] + 0.20*fair[i]
+		if cells[i].Summary.SLOTracked > 0 {
+			hasSLO = true
+			break
+		}
+	}
+	if !hasSLO {
+		for i := range cells {
+			cells[i].Score = 0.40*tp[i] + 0.40*antt[i] + 0.20*fair[i]
+		}
+		return
+	}
+	slo := norm(func(s *Summary) float64 { return s.SLOAttainRate }, false)
+	for i := range cells {
+		cells[i].Score = 0.30*tp[i] + 0.30*antt[i] + 0.15*fair[i] + 0.25*slo[i]
 	}
 }
 
@@ -199,6 +234,24 @@ func findings(cells []Cell, m Matrix) []string {
 	hpf := find("hpf", d0, l0, s0)
 	ffs := find("ffs", d0, l0, s0)
 	fifo := find("fifo", d0, l0, s0)
+	edf := find("edf", d0, l0, s0)
+
+	if edf != nil && hpf != nil && edf.SLOTracked > 0 && hpf.SLOTracked > 0 {
+		if edf.SLOAttainRate > hpf.SLOAttainRate {
+			out = append(out, fmt.Sprintf(
+				"EDF attains %.1f%% of SLO deadlines vs HPF's %.1f%% (%d/%d vs %d/%d): ordering by deadline instead of priority rescues launches HPF would let slip past their budget.",
+				100*edf.SLOAttainRate, 100*hpf.SLOAttainRate,
+				edf.SLOAttained, edf.SLOTracked, hpf.SLOAttained, hpf.SLOTracked))
+		} else if edf.SLOAttainRate < hpf.SLOAttainRate {
+			out = append(out, fmt.Sprintf(
+				"HPF attains %.1f%% of SLO deadlines vs EDF's %.1f%%: this trace's deadlines align with priority order, so deadline-first buys nothing here.",
+				100*hpf.SLOAttainRate, 100*edf.SLOAttainRate))
+		} else {
+			out = append(out, fmt.Sprintf(
+				"EDF and HPF tie on SLO attainment (%.1f%%): deadlines are loose enough that either ordering meets them.",
+				100*edf.SLOAttainRate))
+		}
+	}
 
 	if hpf != nil && fifo != nil && fifo.HighPrioANTT > 0 && hpf.HighPrioANTT > 0 {
 		if hpf.HighPrioANTT < fifo.HighPrioANTT {
@@ -267,17 +320,32 @@ func findings(cells []Cell, m Matrix) []string {
 // RenderText writes the comparison as a human-oriented report.
 func (c *Comparison) RenderText(w io.Writer) {
 	fmt.Fprintf(w, "what-if: %d configurations\n\n", len(c.Cells))
-	fmt.Fprintf(w, "%-20s %6s %10s %10s %10s %8s %6s\n",
+	hasSLO := false
+	for i := range c.Cells {
+		if c.Cells[i].Summary.SLOTracked > 0 {
+			hasSLO = true
+			break
+		}
+	}
+	fmt.Fprintf(w, "%-20s %6s %10s %10s %10s %8s %6s",
 		"config", "score", "thrpt/s", "hi-ANTT", "fairness", "preempt", "done")
+	if hasSLO {
+		fmt.Fprintf(w, " %7s", "slo%")
+	}
+	fmt.Fprintf(w, "\n")
 	byName := map[string]*Cell{}
 	for i := range c.Cells {
 		byName[c.Cells[i].Name] = &c.Cells[i]
 	}
 	for _, name := range c.Ranking {
 		cl := byName[name]
-		fmt.Fprintf(w, "%-20s %6.3f %10.3f %10.3f %10.3f %8d %6d\n",
+		fmt.Fprintf(w, "%-20s %6.3f %10.3f %10.3f %10.3f %8d %6d",
 			cl.Name, cl.Score, cl.Summary.ThroughputPerSec, cl.Summary.HighPrioANTT,
 			cl.Summary.Fairness, cl.Summary.Preemptions, cl.Summary.Completed)
+		if hasSLO {
+			fmt.Fprintf(w, " %7.1f", 100*cl.Summary.SLOAttainRate)
+		}
+		fmt.Fprintf(w, "\n")
 	}
 	if len(c.Findings) > 0 {
 		fmt.Fprintf(w, "\nfindings:\n")

@@ -73,7 +73,8 @@ func (t *Trace) ToScenario(name string) (workload.Scenario, error) {
 
 // MixTenant describes one tenant of a synthesized multi-tenant trace: a
 // client submitting Count launches of Bench/Class at Priority, one every
-// Period with seeded jitter.
+// Period with seeded jitter. A positive Deadline makes every launch
+// latency-critical with that SLO budget from admission.
 type MixTenant struct {
 	Client   string
 	Bench    string
@@ -82,6 +83,7 @@ type MixTenant struct {
 	Weight   float64
 	Period   time.Duration
 	Count    int
+	Deadline time.Duration
 }
 
 // SynthesizeMix builds a deterministic open-loop trace from tenant specs:
@@ -110,16 +112,22 @@ func SynthesizeMix(tenants []MixTenant, seed int64) (*Trace, error) {
 			seen[ten.Bench] = true
 			t.Header.Benchmarks = append(t.Header.Benchmarks, ten.Bench)
 		}
+		sloClass := ""
+		if ten.Deadline > 0 {
+			sloClass = "latency"
+		}
 		for k := 0; k < ten.Count; k++ {
 			jitter := time.Duration(rng.Int63n(int64(ten.Period)/4 + 1))
 			t.Records = append(t.Records, Record{
-				At:       int64(time.Duration(k)*ten.Period + jitter),
-				Device:   -1,
-				Client:   ten.Client,
-				Bench:    ten.Bench,
-				Class:    ten.Class,
-				Priority: ten.Priority,
-				Weight:   ten.Weight,
+				At:         int64(time.Duration(k)*ten.Period + jitter),
+				Device:     -1,
+				Client:     ten.Client,
+				Bench:      ten.Bench,
+				Class:      ten.Class,
+				Priority:   ten.Priority,
+				Weight:     ten.Weight,
+				DeadlineNS: int64(ten.Deadline),
+				SLOClass:   sloClass,
 			})
 		}
 	}

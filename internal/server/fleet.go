@@ -258,8 +258,11 @@ func addCounters(agg *counters, c counters) {
 	agg.RejectedFull += c.RejectedFull
 	agg.RejectedDraining += c.RejectedDraining
 	agg.RejectedInvalid += c.RejectedInvalid
+	agg.RejectedShed += c.RejectedShed
 	agg.TimedOut += c.TimedOut
 	agg.Canceled += c.Canceled
+	agg.SLOAttained += c.SLOAttained
+	agg.SLOMissed += c.SLOMissed
 }
 
 // Status aggregates the shards: summed counters and queue figures at the
@@ -280,6 +283,14 @@ func (f *Fleet) Status() Status {
 	}
 	for _, d := range devs {
 		addCounters(&agg.Counters, d.Counters)
+		// Re-derive the fleet's mean SLO margin from completion-weighted
+		// shard means before the counts change.
+		if n0, n1 := agg.SLO.Attained+agg.SLO.Missed, d.SLO.Attained+d.SLO.Missed; n0+n1 > 0 {
+			agg.SLO.MeanMarginUS = (agg.SLO.MeanMarginUS*float64(n0) + d.SLO.MeanMarginUS*float64(n1)) / float64(n0+n1)
+		}
+		agg.SLO.Attained += d.SLO.Attained
+		agg.SLO.Missed += d.SLO.Missed
+		agg.SLO.BestEffortShed += d.SLO.BestEffortShed
 		agg.QueueLen += d.QueueLen
 		agg.QueueCap += d.QueueCap
 		agg.MemoryFreeBytes += d.MemoryFreeBytes
@@ -292,6 +303,9 @@ func (f *Fleet) Status() Status {
 		if d.VirtualNowUS > agg.VirtualNowUS {
 			agg.VirtualNowUS = d.VirtualNowUS
 		}
+	}
+	if n := agg.SLO.Attained + agg.SLO.Missed; n > 0 {
+		agg.SLO.AttainRate = float64(agg.SLO.Attained) / float64(n)
 	}
 	if len(devs) > 1 {
 		agg.Devices = devs
@@ -320,12 +334,21 @@ func (f *Fleet) SessionSnapshots() []SessionSnapshot {
 				m.MeanTurnUS = (m.MeanTurnUS*float64(m.Completed) + snap.MeanTurnUS*float64(snap.Completed)) / float64(total)
 				m.MeanWaitUS = (m.MeanWaitUS*float64(m.Completed) + snap.MeanWaitUS*float64(snap.Completed)) / float64(total)
 			}
+			if n0, n1 := m.SLOAttained+m.SLOMissed, snap.SLOAttained+snap.SLOMissed; n0+n1 > 0 {
+				m.MeanSLOMarginUS = (m.MeanSLOMarginUS*float64(n0) + snap.MeanSLOMarginUS*float64(n1)) / float64(n0+n1)
+			}
 			m.Launches += snap.Launches
 			m.InFlight += snap.InFlight
 			m.Completed += snap.Completed
 			m.SubmitErrors += snap.SubmitErrors
 			m.RejectedFull += snap.RejectedFull
+			m.RejectedDraining += snap.RejectedDraining
+			m.RejectedInvalid += snap.RejectedInvalid
+			m.RejectedShed += snap.RejectedShed
 			m.TimedOut += snap.TimedOut
+			m.Canceled += snap.Canceled
+			m.SLOAttained += snap.SLOAttained
+			m.SLOMissed += snap.SLOMissed
 			m.Preemptions += snap.Preemptions
 			if snap.FirstSeenUnix < m.FirstSeenUnix {
 				m.FirstSeenUnix = snap.FirstSeenUnix

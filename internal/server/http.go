@@ -36,6 +36,17 @@ type LaunchRequest struct {
 	TasksOverride int `json:"tasks_override,omitempty"`
 	// TimeoutMS caps this request's wait (bounded by the server default).
 	TimeoutMS int `json:"timeout_ms,omitempty"`
+	// DeadlineMS, when positive, is the launch's SLO budget: the
+	// invocation must finish within this many virtual milliseconds of
+	// admission. Missing it is an accounting event (flep_slo_missed_total,
+	// "slo":"missed" in the result), never an execution error.
+	DeadlineMS int `json:"deadline_ms,omitempty"`
+	// SLOClass is "latency" (requires deadline_ms) or "best_effort" (the
+	// default; forbids deadline_ms). Empty infers the class from
+	// deadline_ms's presence. Best-effort launches are shed with 429 when
+	// the queue crowds past the cost-aware share while deadline-bearing
+	// work is outstanding.
+	SLOClass string `json:"slo_class,omitempty"`
 }
 
 // Status is the JSON body of GET /v1/status. On a fleet daemon the
@@ -62,6 +73,19 @@ type Status struct {
 	TraceEntries    int      `json:"trace_entries,omitempty"`
 	TraceDropped    int      `json:"trace_dropped,omitempty"`
 	ExactlyOnceOK   bool     `json:"exactly_once_ok"`
+	SLO             SLOStatus `json:"slo"`
+}
+
+// SLOStatus summarizes the deadline tier: how many deadline-bearing
+// launches met their budget, how many best-effort launches were shed to
+// protect them, and the mean completion margin (negative pulls from
+// misses). The raw counts also live in Counters so metrics reconcile.
+type SLOStatus struct {
+	Attained       int64   `json:"attained"`
+	Missed         int64   `json:"missed"`
+	BestEffortShed int64   `json:"best_effort_shed"`
+	AttainRate     float64 `json:"attain_rate"`
+	MeanMarginUS   float64 `json:"mean_margin_us"`
 }
 
 type apiError struct {
@@ -146,28 +170,51 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		writeJSON(w, http.StatusBadRequest, apiError{"priority, weight and tasks_override must be non-negative"})
 		return
 	}
+	deadline, err := parseSLO(req.SLOClass, req.DeadlineMS)
+	if err != nil {
+		s.countInvalid(client)
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
 
 	q := &launchReq{
 		client: client, bench: bench, class: class,
 		priority: prio, weight: req.Weight, tasksOverride: req.TasksOverride,
+		deadline:     deadline,
 		enqueuedReal: time.Now(),
 		done:         make(chan LaunchResult, 1),
 	}
 	if err := s.tryEnqueue(q); err != nil {
 		s.mu.Lock()
-		sess := s.session(client)
+		// Record the reject on the client's session only if one already
+		// exists: a launch that never entered the queue must not
+		// materialize per-client state (it would be an unbounded-memory
+		// vector, and the draining path used to create sessions it then
+		// never even recorded the rejection on).
+		sess := s.sessions[client]
 		switch {
 		case errors.Is(err, ErrQueueFull):
 			s.c.RejectedFull++
-			sess.RejectedFull++
+			if sess != nil {
+				sess.RejectedFull++
+			}
 			s.met.RejectedFull.Inc()
+		case errors.Is(err, ErrBestEffortShed):
+			s.c.RejectedShed++
+			if sess != nil {
+				sess.RejectedShed++
+			}
+			s.met.RejectedShed.Inc()
 		default:
 			s.c.RejectedDraining++
+			if sess != nil {
+				sess.RejectedDraining++
+			}
 			s.met.RejectedDraining.Inc()
 		}
 		s.mu.Unlock()
-		if errors.Is(err, ErrQueueFull) {
-			w.Header().Set("Retry-After", "1")
+		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBestEffortShed) {
+			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
 			writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
 		} else {
 			writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
@@ -207,21 +254,54 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		writeJSON(w, http.StatusGatewayTimeout,
 			apiError{"timed out waiting for completion; the invocation still runs to completion"})
 	case <-r.Context().Done():
+		// The launch was accepted, so the session exists; record the
+		// abandonment there too, or /v1/sessions cannot tell a canceled
+		// waiter from a live one.
 		s.met.Canceled.Inc()
 		s.mu.Lock()
 		s.c.Canceled++
+		s.session(client).Canceled++
 		s.mu.Unlock()
 	}
 }
 
+// countInvalid accounts a validation reject. It deliberately does NOT
+// materialize a session: invalid requests carry attacker-controlled
+// client names, and creating state per garbage name is an
+// unbounded-memory vector.
 func (s *Server) countInvalid(client string) {
 	s.met.RejectedInvalid.Inc()
 	s.mu.Lock()
 	s.c.RejectedInvalid++
-	if client != "" {
-		s.session(client)
+	if sess := s.sessions[client]; sess != nil {
+		sess.RejectedInvalid++
 	}
 	s.mu.Unlock()
+}
+
+// parseSLO resolves the request's SLO class and deadline into the
+// virtual-time budget the admitted invocation will carry (zero =
+// best-effort).
+func parseSLO(class string, deadlineMS int) (time.Duration, error) {
+	if deadlineMS < 0 {
+		return 0, fmt.Errorf("deadline_ms must be non-negative")
+	}
+	d := time.Duration(deadlineMS) * time.Millisecond
+	switch class {
+	case "":
+		return d, nil
+	case "latency":
+		if d == 0 {
+			return 0, fmt.Errorf(`slo_class "latency" requires a positive deadline_ms`)
+		}
+		return d, nil
+	case "best_effort":
+		if d > 0 {
+			return 0, fmt.Errorf(`slo_class "best_effort" cannot carry a deadline_ms`)
+		}
+		return 0, nil
+	}
+	return 0, fmt.Errorf("unknown slo_class %q (want latency or best_effort)", class)
 }
 
 // statusSnapshot assembles the shard's live status (the fleet aggregates
@@ -248,6 +328,15 @@ func (s *Server) statusSnapshot() Status {
 		// In-flight work keeps the invariant an inequality; at rest
 		// (drained or idle) it must hold with equality.
 		ExactlyOnceOK: s.c.Completed+s.c.SubmitErrors <= s.c.Enqueued,
+		SLO: SLOStatus{
+			Attained:       s.c.SLOAttained,
+			Missed:         s.c.SLOMissed,
+			BestEffortShed: s.c.RejectedShed,
+		},
+	}
+	if n := st.SLO.Attained + st.SLO.Missed; n > 0 {
+		st.SLO.AttainRate = float64(st.SLO.Attained) / float64(n)
+		st.SLO.MeanMarginUS = float64(s.sloMarginSum) / float64(n) / 1e3
 	}
 	s.mu.Unlock()
 	st.Draining = s.Draining()

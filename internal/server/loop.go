@@ -20,6 +20,10 @@ type launchReq struct {
 	priority      int
 	weight        float64
 	tasksOverride int
+	// deadline is the SLO budget in virtual time from admission (zero =
+	// best-effort). The loop converts it to an absolute virtual deadline
+	// when it stamps the invocation onto the clock.
+	deadline time.Duration
 
 	enqueuedReal time.Time // handler enqueue time
 	admitReal    time.Time // loop admission time (queue-wait metric)
@@ -54,6 +58,13 @@ type LaunchResult struct {
 	OverheadNS        int64 `json:"overhead_ns"`
 	// QueueWaitRealNS is the real time spent in the admission queue.
 	QueueWaitRealNS int64 `json:"queue_wait_real_ns"`
+	// SLO fields, present only for deadline-bearing launches:
+	// DeadlineVirtualNS is the absolute virtual-time deadline, SLO is
+	// "attained" or "missed", and SLOMarginNS is deadline minus
+	// completion (negative when missed).
+	DeadlineVirtualNS int64  `json:"deadline_virtual_ns,omitempty"`
+	SLO               string `json:"slo,omitempty"`
+	SLOMarginNS       int64  `json:"slo_margin_ns,omitempty"`
 	// Err is set when the runtime rejected the invocation (HTTP 422).
 	Err string `json:"error,omitempty"`
 }
@@ -89,14 +100,27 @@ func (s *Server) ctrl(kind ctrlKind) error {
 // tryEnqueue admits a launch into the bounded queue without blocking.
 // The RLock pairs with Shutdown's Lock: once draining is set, no new
 // send can be in flight, so the loop's final queue length is stable.
+//
+// SLO-aware shedding: while deadline-bearing work is outstanding,
+// best-effort launches stop being admitted once the queue crowds past
+// the cost-aware best-effort share (beLimit), so deadline work always
+// finds queue headroom before latency-critical launches start missing.
+// With no deadlines in play the full queue belongs to best-effort work
+// and admission behaves exactly as before.
 func (s *Server) tryEnqueue(q *launchReq) error {
 	s.acceptMu.RLock()
 	defer s.acceptMu.RUnlock()
 	if s.draining {
 		return ErrDraining
 	}
+	if q.deadline == 0 && s.lcOutstanding.Load() > 0 && len(s.submitCh) >= s.beLimit {
+		return ErrBestEffortShed
+	}
 	select {
 	case s.submitCh <- q:
+		if q.deadline > 0 {
+			s.lcOutstanding.Add(1)
+		}
 		return nil
 	default:
 		return ErrQueueFull
@@ -276,6 +300,12 @@ func (s *Server) admit(q *launchReq) {
 		Te:         te,
 		OnFinish:   func(fv *flepruntime.Invocation) { s.complete(q, fv) },
 	}
+	if q.deadline > 0 {
+		// The SLO clock starts at admission: the budget is measured on the
+		// virtual clock the invocation was stamped onto, so replays
+		// reproduce attainment exactly.
+		v.Deadline = s.eng.Now() + q.deadline
+	}
 	// Capture the engine position before Submit: the trace must describe
 	// the state the launch arrived into, and Submit's own scheduling may
 	// not step the engine (steps only advance in the loop), but the
@@ -284,6 +314,9 @@ func (s *Server) admit(q *launchReq) {
 	atVirtual := s.eng.Now()
 	atStep := s.steps.Load()
 	if err := s.rt.Submit(v); err != nil {
+		if q.deadline > 0 {
+			s.lcOutstanding.Add(-1)
+		}
 		s.met.SubmitErrors.Inc()
 		//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
 		s.mu.Lock()
@@ -317,9 +350,21 @@ func (s *Server) admit(q *launchReq) {
 			Block:         q.bench.ThreadsPerCTA,
 			WorkingSet:    v.WorkingSet,
 			Te:            int64(te),
+			DeadlineNS:    int64(q.deadline),
+			SLOClass:      recordSLOClass(q.deadline),
 		})
 	}
 	s.vnow.Store(int64(s.eng.Now()))
+}
+
+// recordSLOClass names the SLO tier for trace records. Best-effort maps
+// to the empty string so deadline-free traces stay byte-identical to
+// those written before the SLO tier existed.
+func recordSLOClass(deadline time.Duration) string {
+	if deadline > 0 {
+		return "latency"
+	}
+	return ""
 }
 
 // complete delivers the terminal result for a finished invocation. Runs
@@ -348,10 +393,45 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 			s.met.NTT.Observe(res.NTT)
 		}
 	}
+	var margin time.Duration
+	if fv.Deadline > 0 {
+		margin = fv.Deadline - fv.FinishedAt()
+		res.DeadlineVirtualNS = int64(fv.Deadline)
+		res.SLOMarginNS = int64(margin)
+		s.met.SLOMargin.Observe(margin.Seconds())
+		if margin >= 0 {
+			res.SLO = "attained"
+			s.met.SLOAttained.Inc()
+		} else {
+			res.SLO = "missed"
+			s.met.SLOMissed.Inc()
+		}
+		s.lcOutstanding.Add(-1)
+	}
+	// Price one queue slot for Retry-After: EWMA of the real time between
+	// consecutive completions (the pipeline's observed drain rate). Only
+	// this goroutine writes; rejected handlers read the atomic.
+	nowReal := time.Now().UnixNano()
+	if last := s.lastCompleteNS.Swap(nowReal); last != 0 {
+		delta := nowReal - last
+		if old := s.svcEWMANS.Load(); old == 0 {
+			s.svcEWMANS.Store(delta)
+		} else {
+			s.svcEWMANS.Store(old + (delta-old)/4)
+		}
+	}
 	s.met.Completed.Inc()
 	//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
 	s.mu.Lock()
 	s.c.Completed++
+	switch res.SLO {
+	case "attained":
+		s.c.SLOAttained++
+		s.sloMarginSum += margin
+	case "missed":
+		s.c.SLOMissed++
+		s.sloMarginSum += margin
+	}
 	if sess := s.sessions[q.client]; sess != nil {
 		sess.noteCompletion(res)
 	}

@@ -25,8 +25,17 @@ type serverMetrics struct {
 	RejectedFull     *obs.Counter
 	RejectedDraining *obs.Counter
 	RejectedInvalid  *obs.Counter
+	RejectedShed     *obs.Counter
 	TimedOut         *obs.Counter
 	Canceled         *obs.Counter
+
+	// SLO tier: attained/missed partition deadline-bearing completions;
+	// the margin histogram records (deadline − completion) in virtual
+	// seconds, so its negative mass is exactly the missed count and the
+	// positive tail shows how much slack attained launches had.
+	SLOAttained *obs.Counter
+	SLOMissed   *obs.Counter
+	SLOMargin   *obs.Histogram
 
 	// RequestLatency is the real wall-clock time from enqueue to the
 	// handler receiving its terminal result. AdmissionWait is the real
@@ -56,8 +65,16 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		RejectedFull:     launch("rejected_queue_full"),
 		RejectedDraining: launch("rejected_draining"),
 		RejectedInvalid:  launch("rejected_invalid"),
+		RejectedShed:     launch("rejected_best_effort_shed"),
 		TimedOut:         launch("timed_out"),
 		Canceled:         launch("canceled"),
+		SLOAttained: reg.Counter("flep_slo_attained_total",
+			"Deadline-bearing launches that finished at or before their virtual-time deadline"),
+		SLOMissed: reg.Counter("flep_slo_missed_total",
+			"Deadline-bearing launches that finished after their virtual-time deadline"),
+		SLOMargin: reg.Histogram("flep_slo_margin_seconds",
+			"Virtual seconds from completion to deadline per deadline-bearing launch (negative = missed)",
+			[]float64{-1, -0.1, -0.01, -0.001, 0, 0.001, 0.01, 0.1, 1, 10}),
 		RequestLatency: reg.Histogram("flep_server_request_latency_seconds",
 			"Real time from enqueue to the handler receiving its result", nil),
 		AdmissionWait: reg.Histogram("flep_server_admission_wait_seconds",
@@ -68,6 +85,10 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 	}
 	reg.GaugeFunc("flep_server_queue_depth", "Launch requests waiting in the admission queue",
 		func() float64 { return float64(len(s.submitCh)) })
+	reg.GaugeFunc("flep_slo_lc_outstanding", "Deadline-bearing launches admitted but not yet terminal",
+		func() float64 { return float64(s.lcOutstanding.Load()) })
+	reg.GaugeFunc("flep_server_best_effort_limit", "Queue occupancy at which best-effort launches are shed while deadlines are outstanding",
+		func() float64 { return float64(s.beLimit) })
 	reg.GaugeFunc("flep_server_queue_capacity", "Admission queue capacity",
 		func() float64 { return float64(cap(s.submitCh)) })
 	reg.GaugeFunc("flep_server_sessions", "Client sessions seen by the daemon",

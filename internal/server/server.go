@@ -38,7 +38,9 @@ import (
 // Config parameterizes a daemon instance.
 type Config struct {
 	// Policy selects the scheduling policy: "hpf" (default), "hpf-naive",
-	// "ffs", or "fifo" (non-preemptive baseline).
+	// "ffs", "edf" (earliest-deadline-first over launches carrying
+	// deadline_ms, best-effort behind), or "fifo" (non-preemptive
+	// baseline).
 	Policy string
 	// Spatial enables spatial preemption (HPF only).
 	Spatial bool
@@ -110,6 +112,10 @@ var (
 	ErrQueueFull = errors.New("server: admission queue full")
 	// ErrDraining reports a shutting-down daemon (HTTP 503).
 	ErrDraining = errors.New("server: draining, not accepting launches")
+	// ErrBestEffortShed reports a best-effort launch shed by SLO-aware
+	// admission: deadline-bearing work is outstanding and the queue has
+	// crowded past the cost-aware best-effort share (HTTP 429).
+	ErrBestEffortShed = errors.New("server: best-effort launch shed to protect outstanding deadlines")
 	// ErrStopped reports a daemon whose event loop has exited.
 	ErrStopped = errors.New("server: stopped")
 )
@@ -125,8 +131,13 @@ type counters struct {
 	RejectedFull     int64 `json:"rejected_queue_full"`
 	RejectedDraining int64 `json:"rejected_draining"`
 	RejectedInvalid  int64 `json:"rejected_invalid"`
+	RejectedShed     int64 `json:"rejected_best_effort_shed"`
 	TimedOut         int64 `json:"timed_out"`
 	Canceled         int64 `json:"canceled"`
+	// SLOAttained/SLOMissed partition deadline-bearing completions (a
+	// subset of Completed) by whether they met their virtual deadline.
+	SLOAttained int64 `json:"slo_attained"`
+	SLOMissed   int64 `json:"slo_missed"`
 }
 
 type soloKey struct {
@@ -165,10 +176,26 @@ type Server struct {
 	paused atomic.Bool
 	steps  atomic.Int64 // simulation events stepped by the loop
 
+	// SLO-tier admission state. beLimit is the queue occupancy at which
+	// best-effort launches are shed while deadline-bearing work is
+	// outstanding; it is derived once at startup from the loaded kernels'
+	// preemption-cost ratio (see NewWithSystem) and immutable afterwards.
+	// lcOutstanding counts deadline-bearing launches between enqueue and
+	// their terminal event; svcEWMANS/lastCompleteNS feed the Retry-After
+	// estimate (written only by the loop goroutine, read by handlers).
+	beLimit        int
+	lcOutstanding  atomic.Int64
+	svcEWMANS      atomic.Int64
+	lastCompleteNS atomic.Int64
+
 	mu        sync.Mutex
 	startReal time.Time
 	c         counters
-	sessions  map[string]*Session
+	// sloMarginSum accumulates (deadline − completion) across all
+	// deadline-bearing completions, so /v1/status can report the mean
+	// margin without a second pass. Guarded by mu like the counters.
+	sloMarginSum time.Duration
+	sessions     map[string]*Session
 }
 
 // New builds the offline artifacts for cfg.Benchmarks on a fresh system
@@ -250,11 +277,14 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 		}
 		s.ffs = f
 		policy = f
+	case "edf":
+		policy = flepruntime.NewEDF()
 	case "fifo":
 		policy = flepruntime.NewFIFO()
 	default:
 		return nil, fmt.Errorf("server: unknown policy %q", cfg.Policy)
 	}
+	s.beLimit = bestEffortLimit(s.info, cfg.QueueDepth)
 
 	s.reg = obs.NewRegistry()
 	s.met = newServerMetrics(s.reg, s)
@@ -287,6 +317,72 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 	s.startReal = time.Now()
 	go s.loop()
 	return s, nil
+}
+
+// bestEffortLimit derives the queue occupancy at which best-effort
+// launches are shed while deadlines are outstanding. The share is
+// cost-of-preemption-aware: rescuing a deadline behind best-effort work
+// means draining that work, so the more a drain costs relative to the
+// work it interrupts (the fleet's mean preempt-overhead ratio), the
+// less queue the best-effort tier may fill before shedding starts. The
+// share runs from 90% (cheap preemption: admission can afford to let
+// best-effort work in and evict it on demand) down to 50% (expensive
+// preemption: keep headroom so deadlines rarely need a drain at all).
+func bestEffortLimit(info []BenchmarkInfo, queueDepth int) int {
+	var ratioSum float64
+	var n int
+	for _, bi := range info {
+		ci, ok := bi.Classes[kernels.Small.String()]
+		if !ok || ci.PredictedNS <= 0 {
+			continue
+		}
+		ratioSum += float64(bi.PreemptOverheadNS) / float64(ci.PredictedNS)
+		n++
+	}
+	share := 0.9
+	if n > 0 {
+		share -= 2 * (ratioSum / float64(n))
+	}
+	if share < 0.5 {
+		share = 0.5
+	}
+	limit := int(share * float64(queueDepth))
+	if limit < 1 {
+		limit = 1
+	}
+	return limit
+}
+
+// serviceEstimate returns the EWMA of real inter-completion time: the
+// observed drain rate of the pipeline, which prices one queue slot in
+// wall-clock seconds for Retry-After.
+func (s *Server) serviceEstimate() time.Duration {
+	return time.Duration(s.svcEWMANS.Load())
+}
+
+// retryAfter estimates, in whole seconds, when a rejected client should
+// try again: the current queue depth priced at the observed
+// per-completion drain rate.
+func (s *Server) retryAfter() int {
+	return retryAfterFor(len(s.submitCh), s.serviceEstimate())
+}
+
+// retryAfterFor converts a queue depth and a per-launch service-time
+// estimate into a Retry-After header value, clamped to [1, 60] seconds
+// (1 when no completions have been observed yet).
+func retryAfterFor(depth int, perLaunch time.Duration) int {
+	if depth < 0 {
+		depth = 0
+	}
+	wait := time.Duration(depth+1) * perLaunch
+	secs := int((wait + time.Second - 1) / time.Second)
+	if secs < 1 {
+		return 1
+	}
+	if secs > 60 {
+		return 60
+	}
+	return secs
 }
 
 // RecorderHeader builds the replay trace header describing this
@@ -413,14 +509,17 @@ func (s *Server) Counters() map[string]int64 {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return map[string]int64{
-		"enqueued":            s.c.Enqueued,
-		"completed":           s.c.Completed,
-		"submit_errors":       s.c.SubmitErrors,
-		"rejected_queue_full": s.c.RejectedFull,
-		"rejected_draining":   s.c.RejectedDraining,
-		"rejected_invalid":    s.c.RejectedInvalid,
-		"timed_out":           s.c.TimedOut,
-		"canceled":            s.c.Canceled,
+		"enqueued":                  s.c.Enqueued,
+		"completed":                 s.c.Completed,
+		"submit_errors":             s.c.SubmitErrors,
+		"rejected_queue_full":       s.c.RejectedFull,
+		"rejected_draining":         s.c.RejectedDraining,
+		"rejected_invalid":          s.c.RejectedInvalid,
+		"rejected_best_effort_shed": s.c.RejectedShed,
+		"timed_out":                 s.c.TimedOut,
+		"canceled":                  s.c.Canceled,
+		"slo_attained":              s.c.SLOAttained,
+		"slo_missed":                s.c.SLOMissed,
 	}
 }
 

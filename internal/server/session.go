@@ -15,16 +15,25 @@ type Session struct {
 	ID        string
 	FirstSeen time.Time
 
-	Launches     int64 // launches accepted into the queue
-	Completed    int64 // invocations finished
-	SubmitErrors int64 // runtime rejections (oversized working set)
-	RejectedFull int64 // 429s
-	TimedOut     int64 // handlers that gave up waiting (invocation ran on)
+	Launches         int64 // launches accepted into the queue
+	Completed        int64 // invocations finished
+	SubmitErrors     int64 // runtime rejections (oversized working set)
+	RejectedFull     int64 // 429s (queue full)
+	RejectedDraining int64 // 503s (daemon draining)
+	RejectedInvalid  int64 // validation rejects (recorded only on existing sessions)
+	RejectedShed     int64 // 429s (best-effort shed by SLO admission)
+	TimedOut         int64 // handlers that gave up waiting (invocation ran on)
+	Canceled         int64 // clients that went away while waiting (invocation ran on)
 
 	Preemptions       int64 // realized preemptions across invocations
 	TotalTurnaroundNS int64
 	TotalWaitingNS    int64
 	LastFinishVirtual time.Duration
+
+	// SLO accounting over this client's deadline-bearing completions.
+	SLOAttained    int64
+	SLOMissed      int64
+	SLOMarginSumNS int64
 }
 
 // noteCompletion folds a finished invocation into the session.
@@ -34,6 +43,14 @@ func (sess *Session) noteCompletion(res LaunchResult) {
 	sess.TotalTurnaroundNS += res.TurnaroundNS
 	sess.TotalWaitingNS += res.WaitingNS
 	sess.LastFinishVirtual = time.Duration(res.FinishedVirtualNS)
+	switch res.SLO {
+	case "attained":
+		sess.SLOAttained++
+		sess.SLOMarginSumNS += res.SLOMarginNS
+	case "missed":
+		sess.SLOMissed++
+		sess.SLOMarginSumNS += res.SLOMarginNS
+	}
 }
 
 // hostState maps the session onto Figure 5's host-program states: a
@@ -62,16 +79,23 @@ type SessionSnapshot struct {
 	// Devices lists the fleet shards this client's launches ran on (empty
 	// on a standalone daemon; one entry under session affinity).
 	Devices      []int   `json:"devices,omitempty"`
-	Launches     int64   `json:"launches"`
-	InFlight     int64   `json:"in_flight"`
-	Completed    int64   `json:"completed"`
-	SubmitErrors int64   `json:"submit_errors"`
-	RejectedFull int64   `json:"rejected_queue_full"`
-	TimedOut     int64   `json:"timed_out"`
-	Preemptions  int64   `json:"preemptions"`
-	MeanTurnUS   float64 `json:"mean_turnaround_us"`
-	MeanWaitUS   float64 `json:"mean_waiting_us"`
-	LastFinishUS float64 `json:"last_finish_virtual_us"`
+	Launches         int64   `json:"launches"`
+	InFlight         int64   `json:"in_flight"`
+	Completed        int64   `json:"completed"`
+	SubmitErrors     int64   `json:"submit_errors"`
+	RejectedFull     int64   `json:"rejected_queue_full"`
+	RejectedDraining int64   `json:"rejected_draining"`
+	RejectedInvalid  int64   `json:"rejected_invalid"`
+	RejectedShed     int64   `json:"rejected_best_effort_shed"`
+	TimedOut         int64   `json:"timed_out"`
+	Canceled         int64   `json:"canceled"`
+	Preemptions      int64   `json:"preemptions"`
+	MeanTurnUS       float64 `json:"mean_turnaround_us"`
+	MeanWaitUS       float64 `json:"mean_waiting_us"`
+	LastFinishUS     float64 `json:"last_finish_virtual_us"`
+	SLOAttained      int64   `json:"slo_attained"`
+	SLOMissed        int64   `json:"slo_missed"`
+	MeanSLOMarginUS  float64 `json:"mean_slo_margin_us"`
 }
 
 // session returns the client's session, creating it on first use.
@@ -92,21 +116,30 @@ func (s *Server) SessionSnapshots() []SessionSnapshot {
 	out := make([]SessionSnapshot, 0, len(s.sessions))
 	for _, sess := range s.sessions {
 		snap := SessionSnapshot{
-			ID:            sess.ID,
-			FirstSeenUnix: sess.FirstSeen.UnixMilli(),
-			HostState:     sess.hostState(),
-			Launches:      sess.Launches,
-			InFlight:      sess.Launches - sess.Completed - sess.SubmitErrors,
-			Completed:     sess.Completed,
-			SubmitErrors:  sess.SubmitErrors,
-			RejectedFull:  sess.RejectedFull,
-			TimedOut:      sess.TimedOut,
-			Preemptions:   sess.Preemptions,
-			LastFinishUS:  float64(sess.LastFinishVirtual) / 1e3,
+			ID:               sess.ID,
+			FirstSeenUnix:    sess.FirstSeen.UnixMilli(),
+			HostState:        sess.hostState(),
+			Launches:         sess.Launches,
+			InFlight:         sess.Launches - sess.Completed - sess.SubmitErrors,
+			Completed:        sess.Completed,
+			SubmitErrors:     sess.SubmitErrors,
+			RejectedFull:     sess.RejectedFull,
+			RejectedDraining: sess.RejectedDraining,
+			RejectedInvalid:  sess.RejectedInvalid,
+			RejectedShed:     sess.RejectedShed,
+			TimedOut:         sess.TimedOut,
+			Canceled:         sess.Canceled,
+			Preemptions:      sess.Preemptions,
+			LastFinishUS:     float64(sess.LastFinishVirtual) / 1e3,
+			SLOAttained:      sess.SLOAttained,
+			SLOMissed:        sess.SLOMissed,
 		}
 		if sess.Completed > 0 {
 			snap.MeanTurnUS = float64(sess.TotalTurnaroundNS) / float64(sess.Completed) / 1e3
 			snap.MeanWaitUS = float64(sess.TotalWaitingNS) / float64(sess.Completed) / 1e3
+		}
+		if n := sess.SLOAttained + sess.SLOMissed; n > 0 {
+			snap.MeanSLOMarginUS = float64(sess.SLOMarginSumNS) / float64(n) / 1e3
 		}
 		out = append(out, snap)
 	}

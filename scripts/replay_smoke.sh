@@ -64,3 +64,32 @@ if sum_["mode"] != "timed" or sum_["records"] != live or sum_["completed"] != li
     sys.exit(f'client-trace smoke FAILED: mode={sum_["mode"]} records={sum_["records"]} completed={sum_["completed"]} live={live}')
 print(f"client-trace smoke OK: {live} launches replayed in timed mode")
 EOF
+
+# SLO what-if: a synthesized deadline mix whose priority order
+# deliberately disagrees with deadline order (the latency tenant is
+# LOW priority). The advisor must fold edf into the default policy set
+# and EDF must attain strictly more deadlines than HPF.
+"$WORK/flepreplay" record -o "$WORK/slo.trace" -seed 11 \
+    -mix "lc:VA:small:1::2ms:40:10ms,batch:CFD:large:2::8ms:10"
+"$WORK/flepreplay" whatif -trace "$WORK/slo.trace" -q -json >"$WORK/slo-whatif.json"
+python3 - "$WORK/slo-whatif.json" <<'EOF'
+import json, sys
+cmp_ = json.load(open(sys.argv[1]))
+by_policy = {c["policy"]: c["summary"] for c in cmp_["cells"]}
+problems = []
+if "edf" not in by_policy:
+    problems.append(f"default matrix on a deadline trace omits edf: {cmp_['ranking']}")
+else:
+    edf, hpf = by_policy["edf"], by_policy["hpf"]
+    if edf.get("slo_tracked", 0) != 40 or hpf.get("slo_tracked", 0) != 40:
+        problems.append(f"slo_tracked edf={edf.get('slo_tracked')} hpf={hpf.get('slo_tracked')}, want 40")
+    if edf.get("slo_attain_rate", 0) <= hpf.get("slo_attain_rate", 0):
+        problems.append(f"EDF attain rate {edf.get('slo_attain_rate', 0):.3f} "
+                        f"not above HPF {hpf.get('slo_attain_rate', 0):.3f}")
+    if not any(f.startswith("EDF attains") for f in cmp_["findings"]):
+        problems.append(f"findings lack the EDF-vs-HPF attainment gap: {cmp_['findings']}")
+if problems:
+    sys.exit("SLO what-if smoke FAILED:\n  " + "\n  ".join(problems))
+print(f"SLO what-if smoke OK: EDF attains {by_policy['edf']['slo_attain_rate']:.1%} "
+      f"vs HPF {by_policy['hpf'].get('slo_attain_rate', 0):.1%} on the deadline mix")
+EOF
