@@ -42,6 +42,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // profiling endpoints on the opt-in -debug-addr listener
 	"os"
 	"os/signal"
 	"strconv"
@@ -72,6 +73,7 @@ func main() {
 		affinity     = flag.Bool("affinity", true, "pin each client to the shard of its first launch")
 		recordPath   = flag.String("record", "", "append every admitted launch to a replay trace (JSONL) at this path")
 		recordRotate = flag.Int64("record-rotate", 0, "rotate the trace once a segment exceeds this many bytes (0 = never)")
+		debugAddr    = flag.String("debug-addr", "", "optional net/http/pprof listen address (e.g. localhost:6060); empty disables")
 	)
 	flag.Parse()
 
@@ -116,6 +118,18 @@ func main() {
 		log.Fatalf("flepd: %v", err)
 	}
 	log.Printf("flepd: offline phase done in %v", time.Since(start).Round(time.Millisecond))
+
+	if *debugAddr != "" {
+		// pprof registers on http.DefaultServeMux at import; the API below
+		// uses its own mux, so the profiling surface only exists on this
+		// separate opt-in listener (never exposed on the serving address).
+		go func() {
+			log.Printf("flepd: pprof debug listener on %s", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, nil); err != nil {
+				log.Printf("flepd: debug listener: %v", err)
+			}
+		}()
+	}
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv.Handler()}
 	errCh := make(chan error, 1)

@@ -30,6 +30,15 @@
 // drive a mixed LC/BE workload against an EDF daemon. The report then
 // adds client-observed SLO attainment, and the daemon deltas include
 // flep_slo_* and any best-effort launches shed by admission control.
+//
+// -saturate replaces the client/launch-count model with an open-loop
+// saturation ramp: offered load starts at -sat-start launches/s and
+// grows geometrically (-sat-factor) in -sat-window stages until the
+// 429-reject share crosses -sat-threshold (or -sat-stages runs out).
+// Submissions are never retried — a 429 is the datum, not an obstacle —
+// and the run ends by waiting for the daemon to return to rest so the
+// exactly-once invariant is verified after the storm. The final line is
+// machine-readable (`SATURATION {...json...}`) for scripts/bench.sh.
 package main
 
 import (
@@ -44,6 +53,7 @@ import (
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"flep/internal/obs"
@@ -132,6 +142,14 @@ func main() {
 		maxRetry  = flag.Int("max-retries", 200, "max 429 retries per launch")
 		record    = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
 		verifySrv = flag.Bool("verify-status", true, "reconcile server /v1/status counters after the run (disable when a cluster node is killed mid-run: the dead node's completions leave the gateway's summed view)")
+
+		saturate   = flag.Bool("saturate", false, "open-loop saturation ramp mode (see package docs); ignores -clients/-n/-rate")
+		satStart   = flag.Float64("sat-start", 500, "saturation: initial offered launches/s")
+		satFactor  = flag.Float64("sat-factor", 1.7, "saturation: offered-rate growth factor per stage")
+		satWindow  = flag.Duration("sat-window", 2*time.Second, "saturation: measurement window per ramp stage")
+		satShare   = flag.Float64("sat-threshold", 0.05, "saturation: stop once this share of submissions is 429-rejected")
+		satWorkers = flag.Int("sat-workers", 64, "saturation: concurrent submitter goroutines")
+		satStages  = flag.Int("sat-stages", 12, "saturation: max ramp stages")
 	)
 	flag.Parse()
 
@@ -153,6 +171,14 @@ func main() {
 	}
 	if len(benches) == 0 {
 		fatalf("no benchmarks to launch")
+	}
+	if *saturate {
+		runSaturation(*addr, benches, *class, satConfig{
+			start: *satStart, factor: *satFactor, window: *satWindow,
+			threshold: *satShare, workers: *satWorkers, maxStages: *satStages,
+			deadline: *deadline,
+		})
+		return
 	}
 	fmt.Printf("flepload: %d clients × %d launches, benches=%s class=%s mix=%s rate=%s\n",
 		*clients, *perC, strings.Join(benches, ","), *class, *prioMix, rateString(*rate))
@@ -434,6 +460,193 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 		}
 		return
 	}
+}
+
+// ---- saturation ramp (-saturate) ----
+
+type satConfig struct {
+	start, factor float64
+	window        time.Duration
+	threshold     float64
+	workers       int
+	maxStages     int
+	deadline      time.Duration
+}
+
+// satStage is one ramp step's measurement.
+type satStage struct {
+	OfferedPerS  float64 `json:"offered_per_s"`
+	OK           int64   `json:"ok"`
+	Rejected429  int64   `json:"rejected_429"`
+	Errors       int64   `json:"errors"`
+	Dropped      int64   `json:"dropped_tokens"`
+	AchievedPerS float64 `json:"achieved_per_s"`
+	RejectShare  float64 `json:"reject_share"`
+}
+
+// satSummary is the machine-readable result scripts/bench.sh consumes.
+type satSummary struct {
+	SustainedPerS float64    `json:"sustained_launches_per_s"`
+	SaturatedAt   float64    `json:"saturated_at_offered_per_s"`
+	Stages        []satStage `json:"stages"`
+	ExactlyOnceOK bool       `json:"exactly_once_ok"`
+}
+
+// runSaturation ramps offered load geometrically until the daemon sheds
+// past the threshold, reports the best sustained completion rate seen,
+// and verifies exactly-once accounting once the storm has drained.
+func runSaturation(addr string, benches []string, class string, sc satConfig) {
+	// Pre-marshal one body per benchmark: the submit path itself should
+	// cost as little as possible so the client is never the bottleneck.
+	bodies := make([][]byte, len(benches))
+	for i, b := range benches {
+		req := launchRequest{Client: "saturate", Benchmark: b, Class: class}
+		if sc.deadline > 0 {
+			req.DeadlineMS = int(sc.deadline / time.Millisecond)
+		}
+		bodies[i], _ = json.Marshal(req)
+	}
+	httpc := &http.Client{Timeout: 30 * time.Second}
+	fmt.Printf("flepload: saturation ramp, benches=%s class=%s start=%.0f/s ×%.2f window=%v threshold=%.0f%% workers=%d\n",
+		strings.Join(benches, ","), class, sc.start, sc.factor, sc.window, 100*sc.threshold, sc.workers)
+
+	sum := satSummary{}
+	offered := sc.start
+	for i := 0; i < sc.maxStages; i++ {
+		st := runSatStage(httpc, addr, bodies, offered, sc)
+		sum.Stages = append(sum.Stages, st)
+		fmt.Printf("  stage %2d: offered %9.0f/s  ok %7d (%9.1f/s)  429=%5.1f%%  errors=%d dropped=%d\n",
+			i, st.OfferedPerS, st.OK, st.AchievedPerS, 100*st.RejectShare, st.Errors, st.Dropped)
+		if st.AchievedPerS > sum.SustainedPerS {
+			sum.SustainedPerS = st.AchievedPerS
+		}
+		if st.RejectShare > sc.threshold {
+			sum.SaturatedAt = offered
+			break
+		}
+		offered *= sc.factor
+	}
+
+	// The storm is over; wait for the daemon to account every accepted
+	// launch (queued work drains, timed-out handlers' invocations land).
+	var sb statusBody
+	deadline := time.Now().Add(60 * time.Second)
+	for {
+		resp, err := http.Get(addr + "/v1/status")
+		if err != nil {
+			fatalf("status after ramp: %v", err)
+		}
+		err = json.NewDecoder(resp.Body).Decode(&sb)
+		resp.Body.Close()
+		if err != nil {
+			fatalf("status after ramp: %v", err)
+		}
+		if sb.Counters.Completed+sb.Counters.SubmitErrors == sb.Counters.Enqueued {
+			sum.ExactlyOnceOK = true
+			break
+		}
+		if time.Now().After(deadline) {
+			break
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if sum.ExactlyOnceOK {
+		fmt.Printf("exactly-once:  OK after the storm (enqueued=%d completed=%d submit_errors=%d)\n",
+			sb.Counters.Enqueued, sb.Counters.Completed, sb.Counters.SubmitErrors)
+	} else {
+		fmt.Printf("exactly-once:  FAIL: daemon never reached rest (enqueued=%d completed=%d submit_errors=%d)\n",
+			sb.Counters.Enqueued, sb.Counters.Completed, sb.Counters.SubmitErrors)
+	}
+	j, _ := json.Marshal(sum)
+	fmt.Printf("SATURATION %s\n", j)
+	if !sum.ExactlyOnceOK {
+		os.Exit(1)
+	}
+}
+
+// runSatStage offers load at a fixed rate for one window: a token
+// dispatcher converts the rate into submission permits, workers spend
+// them on un-retried POSTs, and the stage's outcome counts live in
+// atomics (no shared lock on the submit path).
+func runSatStage(httpc *http.Client, addr string, bodies [][]byte, offered float64, sc satConfig) satStage {
+	var ok, rej, errs, dropped atomic.Int64
+	tokens := make(chan struct{}, 4*sc.workers)
+	stop := make(chan struct{})
+	var producer sync.WaitGroup
+	producer.Add(1)
+	go func() {
+		defer producer.Done()
+		defer close(tokens)
+		const interval = 5 * time.Millisecond
+		tick := time.NewTicker(interval)
+		defer tick.Stop()
+		carry := 0.0
+		for {
+			select {
+			case <-stop:
+				return
+			case <-tick.C:
+				carry += offered * interval.Seconds()
+				for carry >= 1 {
+					carry--
+					select {
+					case tokens <- struct{}{}:
+					default:
+						// Every submitter is busy and the permit buffer is
+						// full: the client, not the daemon, is the limit for
+						// this token. Counted separately so a client-bound
+						// stage is visible as such.
+						dropped.Add(1)
+					}
+				}
+			}
+		}
+	}()
+	var wg sync.WaitGroup
+	var rr atomic.Int64
+	for w := 0; w < sc.workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for range tokens {
+				body := bodies[int(rr.Add(1)-1)%len(bodies)]
+				resp, err := httpc.Post(addr+"/v1/launch", "application/json", bytes.NewReader(body))
+				if err != nil {
+					errs.Add(1)
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					ok.Add(1)
+				case http.StatusTooManyRequests:
+					rej.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	start := time.Now()
+	time.Sleep(sc.window)
+	close(stop)
+	producer.Wait()
+	wg.Wait()
+	elapsed := time.Since(start).Seconds()
+
+	st := satStage{
+		OfferedPerS: offered,
+		OK:          ok.Load(), Rejected429: rej.Load(),
+		Errors: errs.Load(), Dropped: dropped.Load(),
+	}
+	if elapsed > 0 {
+		st.AchievedPerS = float64(st.OK) / elapsed
+	}
+	if total := st.OK + st.Rejected429 + st.Errors; total > 0 {
+		st.RejectShare = float64(st.Rejected429) / float64(total)
+	}
+	return st
 }
 
 func (st *stats) note(f func()) {

@@ -1,0 +1,43 @@
+package obs
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkHistogramObserve measures the lock-free single-writer path
+// the event loop takes per admitted launch.
+func BenchmarkHistogramObserve(b *testing.B) {
+	h := NewRegistry().Histogram("flep_bench_observe_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%1000) * 1e-6)
+	}
+}
+
+// BenchmarkHistogramObserveParallel measures contention when handlers
+// and the loop observe the same family concurrently — the case the old
+// per-histogram mutex serialized.
+func BenchmarkHistogramObserveParallel(b *testing.B) {
+	h := NewRegistry().Histogram("flep_bench_observe_seconds", "bench", nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	b.RunParallel(func(pb *testing.PB) {
+		var i atomic.Int64
+		for pb.Next() {
+			h.Observe(float64(i.Add(1)%1000) * 1e-6)
+		}
+	})
+}
+
+// BenchmarkCounterInc is the floor: the hottest per-event update in the
+// registry.
+func BenchmarkCounterInc(b *testing.B) {
+	c := NewRegistry().Counter("flep_bench_total", "bench")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+	}
+}

@@ -91,26 +91,35 @@ func (g *Gauge) Value() float64 {
 }
 
 // Histogram is a cumulative-bucket distribution of float64 observations
-// (seconds, for time histograms).
+// (seconds, for time histograms). Observe is entirely atomic — no mutex —
+// so the daemon's event loop can record per-event distributions (queue
+// wait, admission wait, drain latency) without ever contending with
+// scrapes or other goroutines.
 type Histogram struct {
-	mu      sync.Mutex
-	bounds  []float64 // upper bucket bounds, ascending; +Inf implicit
-	counts  []uint64  // per-bucket (non-cumulative) counts; len(bounds)+1
-	sum     float64
-	samples uint64
+	bounds  []float64       // upper bucket bounds, ascending; +Inf implicit; immutable
+	counts  []atomic.Uint64 // per-bucket (non-cumulative) counts; len(bounds)+1
+	sumBits atomic.Uint64   // float64 bits of the running sum, CAS-updated
+	samples atomic.Uint64
 }
 
-// Observe records one sample.
+// Observe records one sample. Lock-free: the total-sample count is bumped
+// before the bucket so a concurrent scrape never renders a finite bucket
+// above the +Inf line (cumulative buckets stay monotone mid-flight; the
+// counts reconcile exactly once writers are at rest).
 func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
+	h.samples.Add(1)
+	for {
+		old := h.sumBits.Load()
+		s := math.Float64frombits(old) + v
+		if h.sumBits.CompareAndSwap(old, math.Float64bits(s)) {
+			break
+		}
+	}
 	i := sort.SearchFloat64s(h.bounds, v) // first bound ≥ v
-	h.counts[i]++
-	h.sum += v
-	h.samples++
+	h.counts[i].Add(1)
 }
 
 // Count returns the number of observations.
@@ -118,9 +127,7 @@ func (h *Histogram) Count() uint64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.samples
+	return h.samples.Load()
 }
 
 // Sum returns the sum of all observations.
@@ -128,23 +135,22 @@ func (h *Histogram) Sum() float64 {
 	if h == nil {
 		return 0
 	}
-	h.mu.Lock()
-	defer h.mu.Unlock()
-	return h.sum
+	return math.Float64frombits(h.sumBits.Load())
 }
 
 // snapshot returns cumulative bucket counts aligned with bounds plus the
-// +Inf bucket, and the sum/count pair.
+// +Inf bucket, and the sum/count pair. The fields are read individually —
+// a snapshot taken while writers are active may be a few observations
+// out of sync across buckets, but is exact at rest (the state every
+// reconciliation test scrapes in).
 func (h *Histogram) snapshot() (bounds []float64, cumulative []uint64, sum float64, count uint64) {
-	h.mu.Lock()
-	defer h.mu.Unlock()
 	cumulative = make([]uint64, len(h.counts))
 	acc := uint64(0)
-	for i, c := range h.counts {
-		acc += c
+	for i := range h.counts {
+		acc += h.counts[i].Load()
 		cumulative[i] = acc
 	}
-	return h.bounds, cumulative, h.sum, h.samples
+	return h.bounds, cumulative, h.Sum(), h.Count()
 }
 
 // DurationBuckets is the default bucket layout for virtual-time
@@ -307,7 +313,7 @@ func (r *Registry) Histogram(name, help string, bounds []float64, labels ...stri
 				panic(fmt.Sprintf("obs: histogram %s bounds not ascending at %d", name, i))
 			}
 		}
-		m.hist = &Histogram{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+		m.hist = &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
 	}
 	return m.hist
 }

@@ -2,6 +2,7 @@ package replay
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -49,6 +50,16 @@ type Recorder struct {
 	seq      int64
 	closed   bool
 
+	// encBuf/enc/scratch are the reused encode path, guarded by mu: each
+	// Record serializes into encBuf via the long-lived encoder instead of
+	// allocating a json.Marshal result per launch, and scratch keeps the
+	// record addressable without escaping the parameter to the heap.
+	// json.Encoder.Encode emits exactly json.Marshal's bytes plus '\n'
+	// (same HTML escaping), so the trace stays byte-identical.
+	encBuf  bytes.Buffer
+	enc     *json.Encoder
+	scratch Record
+
 	// Instruments are nil-safe (see obs); Bind installs real ones.
 	records   *obs.Counter
 	dropped   *obs.Counter
@@ -66,6 +77,7 @@ func NewRecorder(path string, hdr Header, opts RecorderOptions) (*Recorder, erro
 	hdr.Magic = true
 	hdr.TraceVersion = Version
 	r := &Recorder{path: path, opts: opts, hdr: hdr}
+	r.enc = json.NewEncoder(&r.encBuf)
 	if opts.WallClock != nil {
 		now := opts.WallClock()
 		r.hdr.CreatedUnixMS = now.UnixMilli()
@@ -150,14 +162,16 @@ func (r *Recorder) Record(rec Record) bool {
 		return false
 	}
 	r.seq++
-	rec.Seq = r.seq
-	rec.Wall = wall
-	line, err := json.Marshal(rec)
-	if err != nil {
+	r.scratch = rec
+	r.scratch.Seq = r.seq
+	r.scratch.Wall = wall
+	r.encBuf.Reset()
+	if err := r.enc.Encode(&r.scratch); err != nil {
 		r.dropped.Inc()
 		return false
 	}
-	if r.opts.RotateBytes > 0 && r.segBytes+int64(len(line))+1 > r.opts.RotateBytes && r.segBytes > 0 {
+	line := r.encBuf.Bytes() // includes the trailing '\n'
+	if r.opts.RotateBytes > 0 && r.segBytes+int64(len(line)) > r.opts.RotateBytes && r.segBytes > 0 {
 		if err := r.rotate(); err != nil {
 			// The old segment (and everything buffered into it) may be
 			// gone mid-rotation; the daemon must keep serving regardless.
@@ -165,7 +179,7 @@ func (r *Recorder) Record(rec Record) bool {
 			return false
 		}
 	}
-	n, err := r.w.Write(append(line, '\n'))
+	n, err := r.w.Write(line)
 	r.segBytes += int64(n)
 	if err != nil {
 		r.dropped.Inc()

@@ -105,6 +105,7 @@ func NewFleetWithSystem(sys *core.System, cfg FleetConfig) (*Fleet, error) {
 	for i := 0; i < cfg.Devices; i++ {
 		shardCfg := cfg.Config
 		shardCfg.Device = i
+		shardCfg.FleetShards = cfg.Devices
 		s, err := NewWithSystem(sys.Clone(), shardCfg)
 		if err != nil {
 			for _, prev := range f.shards {

@@ -1,11 +1,13 @@
 package server
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"net/http"
 	"strconv"
+	"sync"
 	"time"
 
 	"flep/internal/trace"
@@ -92,12 +94,42 @@ type apiError struct {
 	Error string `json:"error"`
 }
 
+// jsonEnc pairs a reusable buffer with an encoder bound to it, so hot
+// handlers (launch results, status polls) serialize each response with
+// zero per-call encoder/buffer allocations.
+type jsonEnc struct {
+	buf bytes.Buffer
+	enc *json.Encoder
+}
+
+var jsonEncPool = sync.Pool{New: func() any {
+	e := &jsonEnc{}
+	e.enc = json.NewEncoder(&e.buf)
+	e.enc.SetIndent("", "  ")
+	return e
+}}
+
+// jsonEncKeepBytes bounds what a recycled buffer may retain: one giant
+// /v1/sessions or /v1/trace dump must not pin its backing array in the
+// pool forever.
+const jsonEncKeepBytes = 64 << 10
+
 func writeJSON(w http.ResponseWriter, code int, v any) {
+	e := jsonEncPool.Get().(*jsonEnc)
+	e.buf.Reset()
+	err := e.enc.Encode(v)
 	w.Header().Set("Content-Type", "application/json")
+	if err != nil {
+		jsonEncPool.Put(e)
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, "{\n  \"error\": %q\n}\n", "encode response: "+err.Error())
+		return
+	}
 	w.WriteHeader(code)
-	enc := json.NewEncoder(w)
-	enc.SetIndent("", "  ")
-	_ = enc.Encode(v)
+	_, _ = w.Write(e.buf.Bytes())
+	if e.buf.Cap() <= jsonEncKeepBytes {
+		jsonEncPool.Put(e)
+	}
 }
 
 // Handler returns the daemon's HTTP API.
@@ -177,14 +209,13 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		return
 	}
 
-	q := &launchReq{
-		client: client, bench: bench, class: class,
-		priority: prio, weight: req.Weight, tasksOverride: req.TasksOverride,
-		deadline:     deadline,
-		enqueuedReal: time.Now(),
-		done:         make(chan LaunchResult, 1),
-	}
+	q := getLaunchReq()
+	q.client, q.bench, q.class = client, bench, class
+	q.priority, q.weight, q.tasksOverride = prio, req.Weight, req.TasksOverride
+	q.deadline = deadline
+	q.enqueuedReal = time.Now()
 	if err := s.tryEnqueue(q); err != nil {
+		putLaunchReq(q) // the loop never saw it; safe to recycle now
 		s.mu.Lock()
 		// Record the reject on the client's session only if one already
 		// exists: a launch that never entered the queue must not
@@ -238,12 +269,18 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 	select {
 	case res := <-q.done:
 		s.met.RequestLatency.Observe(time.Since(q.enqueuedReal).Seconds())
+		// The terminal result arrived, so the loop is finished with q and
+		// this handler holds exclusive ownership again (res is a copy).
+		putLaunchReq(q)
 		if res.Err != "" {
-			writeJSON(w, http.StatusUnprocessableEntity, res)
+			writeJSON(w, http.StatusUnprocessableEntity, &res)
 			return
 		}
-		writeJSON(w, http.StatusOK, res)
+		writeJSON(w, http.StatusOK, &res)
 	case <-timer.C:
+		// q is deliberately NOT recycled on the timeout and cancel paths:
+		// the loop still owns it until the buffered terminal send lands,
+		// after which nothing references it and it is garbage collected.
 		// The invocation is NOT lost: the loop finishes and accounts it;
 		// only this handler stops waiting.
 		s.met.TimedOut.Inc()

@@ -1,6 +1,7 @@
 package server
 
 import (
+	"sync"
 	"time"
 
 	"flep/internal/flepruntime"
@@ -29,6 +30,33 @@ type launchReq struct {
 	admitReal    time.Time // loop admission time (queue-wait metric)
 
 	done chan LaunchResult
+}
+
+// launchReqPool recycles launchReq shells (and their buffered done
+// channels) across requests, so the steady-state admission path performs
+// zero allocations per launch. Ownership protocol: the handler owns the
+// request until tryEnqueue succeeds; afterwards only the goroutine that
+// proved the loop is finished with it — by receiving the terminal result
+// from done, or by having had tryEnqueue fail — may return it with
+// putLaunchReq. A handler that times out or is canceled must NOT return
+// it: the loop's buffered send still lands in done and the object is
+// simply garbage collected (leak-safe, never reuse-unsafe).
+var launchReqPool = sync.Pool{
+	New: func() any { return &launchReq{done: make(chan LaunchResult, 1)} },
+}
+
+// getLaunchReq returns a zeroed launchReq with its done channel ready.
+func getLaunchReq() *launchReq {
+	return launchReqPool.Get().(*launchReq)
+}
+
+// putLaunchReq resets and recycles q. Callers must hold exclusive
+// ownership per the protocol above, which also guarantees done is empty.
+func putLaunchReq(q *launchReq) {
+	done := q.done
+	*q = launchReq{}
+	q.done = done
+	launchReqPool.Put(q)
 }
 
 // LaunchResult is the structured per-request outcome (§5.1's execution
@@ -107,14 +135,31 @@ func (s *Server) ctrl(kind ctrlKind) error {
 // finds queue headroom before latency-critical launches start missing.
 // With no deadlines in play the full queue belongs to best-effort work
 // and admission behaves exactly as before.
+//
+// The shed decision is atomic with admission: a best-effort launch must
+// CAS a slot reservation into s.queued under the beLimit before it may
+// send, so N racing best-effort handlers cannot all read a stale queue
+// length and collectively overshoot the cost-aware share. The loop
+// releases the reservation when it pops the launch (admit); a failed
+// channel send releases it immediately.
 func (s *Server) tryEnqueue(q *launchReq) error {
 	s.acceptMu.RLock()
 	defer s.acceptMu.RUnlock()
 	if s.draining {
 		return ErrDraining
 	}
-	if q.deadline == 0 && s.lcOutstanding.Load() > 0 && len(s.submitCh) >= s.beLimit {
-		return ErrBestEffortShed
+	if q.deadline == 0 {
+		for {
+			n := s.queued.Load()
+			if s.lcOutstanding.Load() > 0 && n >= int64(s.beLimit) {
+				return ErrBestEffortShed
+			}
+			if s.queued.CompareAndSwap(n, n+1) {
+				break
+			}
+		}
+	} else {
+		s.queued.Add(1)
 	}
 	select {
 	case s.submitCh <- q:
@@ -123,6 +168,7 @@ func (s *Server) tryEnqueue(q *launchReq) error {
 		}
 		return nil
 	default:
+		s.queued.Add(-1)
 		return ErrQueueFull
 	}
 }
@@ -157,12 +203,16 @@ func (s *Server) loop() {
 	var paceDebt time.Duration
 
 	for {
-		// Absorb everything already pending, without blocking.
+		// Absorb everything already pending, without blocking. Arrivals
+		// drain into the reusable batch and are admitted in one pass —
+		// submitCh is FIFO, so batch order is arrival order and the
+		// virtual-clock stamping (hence the replay trace) is byte-identical
+		// to one-at-a-time admission.
 	absorb:
 		for {
 			select {
 			case q := <-s.submitCh:
-				s.admit(q)
+				s.batch = append(s.batch, q)
 			case m := <-s.ctrlCh:
 				paused = s.handleCtrl(m, paused, draining)
 			case <-stop:
@@ -171,6 +221,7 @@ func (s *Server) loop() {
 				break absorb
 			}
 		}
+		s.admitAll()
 
 		if paused {
 			// Parked: arrivals pile up in submitCh (backpressure) until
@@ -267,10 +318,31 @@ func (s *Server) handleCtrl(m ctrlMsg, paused, draining bool) bool {
 	return paused
 }
 
+// admitAll stamps and submits every launch drained into the batch, in
+// arrival order, sharing one wall-clock read across the whole pass.
+// Runs on the loop goroutine.
+func (s *Server) admitAll() {
+	if len(s.batch) == 0 {
+		return
+	}
+	s.met.AdmitBatches.Inc()
+	s.met.AdmitBatchSize.Observe(float64(len(s.batch)))
+	now := time.Now()
+	for i, q := range s.batch {
+		q.admitReal = now
+		s.admit(q)
+		s.batch[i] = nil // the loop may not retain a reference past admission
+	}
+	s.batch = s.batch[:0]
+}
+
 // admit stamps the request onto the virtual clock and submits it to the
 // runtime. Runs on the loop goroutine.
 func (s *Server) admit(q *launchReq) {
-	q.admitReal = time.Now()
+	s.queued.Add(-1)
+	if q.admitReal.IsZero() {
+		q.admitReal = time.Now()
+	}
 	s.met.AdmissionWait.Observe(q.admitReal.Sub(q.enqueuedReal).Seconds())
 	a := s.sys.Artifacts(q.bench.Name)
 	in := q.bench.Input(q.class)

@@ -44,6 +44,13 @@ type serverMetrics struct {
 	RequestLatency *obs.Histogram
 	AdmissionWait  *obs.Histogram
 
+	// AdmitBatches counts the loop's batched absorb passes and
+	// AdmitBatchSize distributes how many launches each admitted: mean
+	// batch size (sum/count) ≫ 1 under load means the batching is
+	// actually amortizing per-launch loop overhead.
+	AdmitBatches   *obs.Counter
+	AdmitBatchSize *obs.Histogram
+
 	// NTT is the per-completion solo-normalized turnaround (the paper's
 	// responsiveness currency): _sum/_count of this histogram is the
 	// daemon-side ANTT, so flepload (and a cluster gateway's per-node
@@ -79,6 +86,11 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Real time from enqueue to the handler receiving its result", nil),
 		AdmissionWait: reg.Histogram("flep_server_admission_wait_seconds",
 			"Real time a request spent in the bounded admission queue", nil),
+		AdmitBatches: reg.Counter("flep_server_admission_batches_total",
+			"Batched absorb passes executed by the event loop"),
+		AdmitBatchSize: reg.Histogram("flep_server_admission_batch_size",
+			"Launches admitted per batched absorb pass (sum/count = mean batch)",
+			[]float64{1, 2, 4, 8, 16, 32, 64, 128, 256}),
 		NTT: reg.Histogram("flep_server_ntt",
 			"Solo-normalized turnaround per completed invocation (sum/count = ANTT)",
 			[]float64{1, 1.5, 2, 3, 5, 8, 13, 21, 34, 55, 100}),

@@ -74,6 +74,11 @@ type Config struct {
 	// standalone daemon). It is stamped onto launch results so clients can
 	// attribute work to a device.
 	Device int
+	// FleetShards is how many device shards drain work concurrently in
+	// the fleet this shard belongs to (1 for a standalone daemon). It
+	// scales the Retry-After estimate: a rejected client's wait is priced
+	// at the whole fleet's drain rate, not one shard's.
+	FleetShards int
 	// Recorder, when set, captures every admitted launch into a replay
 	// trace (see internal/replay). A fleet's shards share one recorder; it
 	// is flushed when the event loop drains, so a SIGTERM'd daemon leaves
@@ -97,6 +102,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.TraceLimit <= 0 {
 		c.TraceLimit = 65536
+	}
+	if c.FleetShards <= 0 {
+		c.FleetShards = 1
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -187,6 +195,20 @@ type Server struct {
 	lcOutstanding  atomic.Int64
 	svcEWMANS      atomic.Int64
 	lastCompleteNS atomic.Int64
+
+	// queued counts launches reserved or resident in submitCh that the
+	// loop has not yet popped. tryEnqueue reserves a slot (CAS under the
+	// best-effort share) BEFORE the channel send and admit releases it,
+	// so the shed decision and the enqueue are one atomic step — N
+	// concurrent best-effort handlers cannot all pass a stale length
+	// check and overshoot beLimit.
+	queued atomic.Int64
+
+	// batch is the loop-owned scratch slice absorb passes drain submitCh
+	// into, so a burst of arrivals is admitted in one pass with a single
+	// wall-clock read instead of one select iteration (and one time.Now)
+	// per launch. Only the loop goroutine touches it.
+	batch []*launchReq
 
 	mu        sync.Mutex
 	startReal time.Time
@@ -362,19 +384,25 @@ func (s *Server) serviceEstimate() time.Duration {
 
 // retryAfter estimates, in whole seconds, when a rejected client should
 // try again: the current queue depth priced at the observed
-// per-completion drain rate.
+// per-completion drain rate across the fleet's active shards.
 func (s *Server) retryAfter() int {
-	return retryAfterFor(len(s.submitCh), s.serviceEstimate())
+	return retryAfterFor(len(s.submitCh), s.serviceEstimate(), s.cfg.FleetShards)
 }
 
 // retryAfterFor converts a queue depth and a per-launch service-time
 // estimate into a Retry-After header value, clamped to [1, 60] seconds
-// (1 when no completions have been observed yet).
-func retryAfterFor(depth int, perLaunch time.Duration) int {
+// (1 when no completions have been observed yet). shards is how many
+// device shards drain concurrently: the per-shard completion EWMA prices
+// one shard's throughput, so a fleet works the backlog off shards times
+// faster and the header must shrink accordingly.
+func retryAfterFor(depth int, perLaunch time.Duration, shards int) int {
 	if depth < 0 {
 		depth = 0
 	}
-	wait := time.Duration(depth+1) * perLaunch
+	if shards < 1 {
+		shards = 1
+	}
+	wait := time.Duration(depth+1) * perLaunch / time.Duration(shards)
 	secs := int((wait + time.Second - 1) / time.Second)
 	if secs < 1 {
 		return 1

@@ -165,17 +165,30 @@ func TestRetryAfterScalesWithQueueDepth(t *testing.T) {
 	// Unit check on the estimator: deeper queues and slower drains wait
 	// longer, clamped to [1, 60].
 	perLaunch := 500 * time.Millisecond
-	if got := retryAfterFor(1, perLaunch); got != 1 {
+	if got := retryAfterFor(1, perLaunch, 1); got != 1 {
 		t.Fatalf("retryAfterFor(1) = %d, want 1", got)
 	}
-	if got := retryAfterFor(9, perLaunch); got != 5 {
+	if got := retryAfterFor(9, perLaunch, 1); got != 5 {
 		t.Fatalf("retryAfterFor(9) = %d, want 5", got)
 	}
-	if got := retryAfterFor(1000, perLaunch); got != 60 {
+	if got := retryAfterFor(1000, perLaunch, 1); got != 60 {
 		t.Fatalf("retryAfterFor(1000) = %d, want clamp 60", got)
 	}
-	if got := retryAfterFor(50, 0); got != 1 {
+	if got := retryAfterFor(50, 0, 1); got != 1 {
 		t.Fatalf("retryAfterFor with no estimate = %d, want fallback 1", got)
+	}
+	// A fleet drains shards-times faster: the same backlog prices shorter.
+	if got := retryAfterFor(9, perLaunch, 5); got != 1 {
+		t.Fatalf("retryAfterFor(9, shards=5) = %d, want 1", got)
+	}
+	if got := retryAfterFor(1000, perLaunch, 10); got != 51 {
+		t.Fatalf("retryAfterFor(1000, shards=10) = %d, want 51", got)
+	}
+	if got := retryAfterFor(1000, perLaunch, 2); got != 60 {
+		t.Fatalf("retryAfterFor(1000, shards=2) = %d, want clamp 60", got)
+	}
+	if got := retryAfterFor(9, perLaunch, 0); got != 5 {
+		t.Fatalf("retryAfterFor with shards=0 = %d, want single-shard 5", got)
 	}
 
 	// Regression check over HTTP: the header must scale with the rejected

@@ -1,0 +1,200 @@
+#!/usr/bin/env bash
+# Saturation benchmark with a persisted perf trajectory: drive one flepd
+# at full simulator speed (pace 0) with flepload's open-loop saturation
+# ramp, measure sustained launches/s, admission-wait p99, and event-loop
+# step rate from daemon metrics deltas, fold in the admission hot path's
+# allocation budget from `go test -bench -benchmem`, and write a
+# machine-readable BENCH_<pr>.json.
+#
+# Regression gate: when COMPARE names (or auto-detection finds) a
+# previous BENCH_*.json, the run FAILS if sustained throughput drops by
+# more than TOLERANCE (default 10%) against it, or if allocs/launch more
+# than doubles. MIN_SUSTAINED adds an absolute launches/s floor.
+#
+# Everything is parameterized by environment:
+#   OUT=BENCH_9.json COMPARE=BENCH_8.json scripts/bench.sh
+#   ADDR, BENCH, CLASS, QUEUE        daemon under test
+#   SAT_START/FACTOR/WINDOW/WORKERS/STAGES/THRESHOLD   flepload ramp
+#   TOLERANCE (0.10), MIN_SUSTAINED (0 = off)          gate knobs
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="${ADDR:-127.0.0.1:7480}"
+BENCH="${BENCH:-VA,MM}"
+CLASS="${CLASS:-trivial}"
+QUEUE="${QUEUE:-256}"
+SAT_START="${SAT_START:-500}"
+SAT_FACTOR="${SAT_FACTOR:-1.7}"
+SAT_WINDOW="${SAT_WINDOW:-2s}"
+SAT_WORKERS="${SAT_WORKERS:-64}"
+SAT_STAGES="${SAT_STAGES:-12}"
+SAT_THRESHOLD="${SAT_THRESHOLD:-0.05}"
+OUT="${OUT:-BENCH_8.json}"
+COMPARE="${COMPARE:-auto}"
+TOLERANCE="${TOLERANCE:-0.10}"
+MIN_SUSTAINED="${MIN_SUSTAINED:-0}"
+
+WORK="$(mktemp -d)"
+trap 'kill $(cat "$WORK"/*.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$WORK"' EXIT
+
+go build -o "$WORK/flepd" ./cmd/flepd
+go build -o "$WORK/flepload" ./cmd/flepload
+
+# Allocation budget: the in-process admission round trip, -benchmem.
+go test -run '^$' -bench 'BenchmarkLaunchRoundTrip$' -benchmem -benchtime=1s \
+    ./internal/server | tee "$WORK/microbench.out"
+
+wait_ready() {
+    for _ in $(seq 150); do
+        curl -sf "$1" >/dev/null 2>&1 && return 0
+        sleep 0.2
+    done
+    curl -sf "$1" >/dev/null
+}
+
+"$WORK/flepd" -addr "$ADDR" -bench "$BENCH" -queue "$QUEUE" >"$WORK/flepd.log" 2>&1 &
+echo $! >"$WORK/flepd.pid"
+wait_ready "http://$ADDR/healthz"
+curl -s "http://$ADDR/metrics" >"$WORK/before.prom"
+RAMP_START="$(date +%s.%N)"
+"$WORK/flepload" -addr "http://$ADDR" -saturate -bench "$BENCH" -class "$CLASS" \
+    -sat-start "$SAT_START" -sat-factor "$SAT_FACTOR" -sat-window "$SAT_WINDOW" \
+    -sat-workers "$SAT_WORKERS" -sat-stages "$SAT_STAGES" -sat-threshold "$SAT_THRESHOLD" \
+    | tee "$WORK/sat.out"
+RAMP_END="$(date +%s.%N)"
+curl -s "http://$ADDR/metrics" >"$WORK/after.prom"
+kill "$(cat "$WORK/flepd.pid")" && wait "$(cat "$WORK/flepd.pid")" 2>/dev/null || true
+rm "$WORK/flepd.pid"
+
+python3 - "$WORK" "$OUT" "$COMPARE" <<EOF
+import glob, json, re, sys
+
+work, out, compare = sys.argv[1:4]
+cfg = {
+    "mode": "open-loop saturation ramp (flepload -saturate), pace 0",
+    "bench": "$BENCH", "class": "$CLASS", "queue_depth": $QUEUE,
+    "ramp": "start $SAT_START/s x$SAT_FACTOR, $SAT_WINDOW windows, "
+            "$SAT_WORKERS workers, stop at 429 share > $SAT_THRESHOLD",
+}
+tolerance = float("$TOLERANCE")
+min_sustained = float("$MIN_SUSTAINED")
+ramp_wall = float("$RAMP_END") - float("$RAMP_START")
+
+def parse_prom(path):
+    series = {}
+    for line in open(path):
+        line = line.strip()
+        if not line or line.startswith("#"):
+            continue
+        m = re.match(r'^(\w+)(?:\{(.*)\})?\s+(\S+)\$', line)
+        if not m:
+            continue
+        name, labels, val = m.group(1), m.group(2) or "", m.group(3)
+        lab = dict(re.findall(r'(\w+)="([^"]*)"', labels))
+        series.setdefault(name, []).append((lab, float(val)))
+    return series
+
+def family_sum(series, name):
+    return sum(v for _, v in series.get(name, []))
+
+def bucket_deltas(before, after, family):
+    def by_le(series):
+        acc = {}
+        for lab, v in series.get(family + "_bucket", []):
+            le = lab.get("le", "+Inf")
+            acc[le] = acc.get(le, 0.0) + v
+        return acc
+    b, a = by_le(before), by_le(after)
+    return {le: a.get(le, 0.0) - b.get(le, 0.0) for le in a}
+
+def p99(deltas):
+    finite = sorted(((float(le), c) for le, c in deltas.items() if le != "+Inf"))
+    total = deltas.get("+Inf", finite[-1][1] if finite else 0.0)
+    if total <= 0:
+        return 0.0
+    target = 0.99 * total
+    prev_le, prev_c = 0.0, 0.0
+    for le, c in finite:
+        if c >= target:
+            span = c - prev_c
+            frac = (target - prev_c) / span if span > 0 else 1.0
+            return prev_le + frac * (le - prev_le)
+        prev_le, prev_c = le, c
+    return finite[-1][0] if finite else 0.0
+
+sat_line = [l for l in open(f"{work}/sat.out") if l.startswith("SATURATION ")]
+if not sat_line:
+    sys.exit("bench FAILED: flepload printed no SATURATION summary")
+sat = json.loads(sat_line[-1][len("SATURATION "):])
+if not sat.get("exactly_once_ok"):
+    sys.exit("bench FAILED: exactly-once accounting did not close after the storm")
+
+before, after = parse_prom(f"{work}/before.prom"), parse_prom(f"{work}/after.prom")
+steps = family_sum(after, "flep_server_loop_steps") - family_sum(before, "flep_server_loop_steps")
+launches = sum(s["ok"] for s in sat["stages"])
+
+mb = open(f"{work}/microbench.out").read()
+m = re.search(r'BenchmarkLaunchRoundTrip\S*\s+\d+\s+([\d.]+) ns/op\s+(\d+) B/op\s+(\d+) allocs/op', mb)
+if not m:
+    sys.exit("bench FAILED: could not parse BenchmarkLaunchRoundTrip -benchmem output")
+micro = {
+    "launch_round_trip_ns_per_op": float(m.group(1)),
+    "bytes_per_launch": int(m.group(2)),
+    "allocs_per_launch": int(m.group(3)),
+}
+
+bench = {
+    "config": cfg,
+    "single_node": {
+        "sustained_launches_per_s": round(sat["sustained_launches_per_s"], 1),
+        "saturated_at_offered_per_s": round(sat.get("saturated_at_offered_per_s", 0.0), 1),
+        "launches": launches,
+        "admission_p99_s": round(p99(bucket_deltas(before, after, "flep_server_admission_wait_seconds")), 6),
+        "loop_steps_per_s": round(steps / ramp_wall, 1) if ramp_wall > 0 else 0.0,
+        "mean_admission_batch": round(
+            (family_sum(after, "flep_server_admission_batch_size_sum")
+             - family_sum(before, "flep_server_admission_batch_size_sum"))
+            / max(1.0, family_sum(after, "flep_server_admission_batch_size_count")
+                  - family_sum(before, "flep_server_admission_batch_size_count")), 2),
+        "exactly_once_ok": True,
+        "stages": sat["stages"],
+    },
+    "microbench": micro,
+}
+
+# ---- regression gate against the previous trajectory point ----
+if compare == "auto":
+    prior = sorted(p for p in glob.glob("BENCH_*.json") if p != out)
+    compare = prior[-1] if prior else ""
+if compare:
+    try:
+        prev = json.load(open(compare))
+    except FileNotFoundError:
+        sys.exit(f"bench FAILED: comparison file {compare} not found")
+    pn = prev.get("single_node", {})
+    prev_tput = pn.get("sustained_launches_per_s", pn.get("throughput_launches_per_s", 0.0))
+    cmp = {"against": compare, "previous_launches_per_s": prev_tput}
+    new_tput = bench["single_node"]["sustained_launches_per_s"]
+    if prev_tput > 0:
+        cmp["speedup"] = round(new_tput / prev_tput, 2)
+        if new_tput < (1 - tolerance) * prev_tput:
+            sys.exit(f"bench FAILED: sustained {new_tput:.1f}/s regressed >"
+                     f"{tolerance:.0%} vs {compare} ({prev_tput:.1f}/s)")
+    prev_allocs = prev.get("microbench", {}).get("allocs_per_launch")
+    if prev_allocs:
+        cmp["previous_allocs_per_launch"] = prev_allocs
+        if micro["allocs_per_launch"] > 2 * prev_allocs:
+            sys.exit(f"bench FAILED: allocs/launch {micro['allocs_per_launch']} > "
+                     f"2x previous {prev_allocs} ({compare})")
+    bench["comparison"] = cmp
+if min_sustained > 0 and bench["single_node"]["sustained_launches_per_s"] < min_sustained:
+    sys.exit(f"bench FAILED: sustained {bench['single_node']['sustained_launches_per_s']:.1f}/s "
+             f"< required floor {min_sustained:.1f}/s")
+
+json.dump(bench, open(out, "w"), indent=2)
+open(out, "a").write("\n")
+print(json.dumps(bench, indent=2))
+print(f"bench OK: wrote {out} "
+      f"(sustained {bench['single_node']['sustained_launches_per_s']:.1f} launches/s, "
+      f"{micro['allocs_per_launch']} allocs/launch)")
+EOF

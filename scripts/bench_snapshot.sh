@@ -1,8 +1,17 @@
 #!/usr/bin/env bash
 # Bench snapshot: saturate a single flepd, then a two-node flepgw
-# cluster, with identical closed-loop client load, and write BENCH_6.json
-# with sustained launches/sec, admission-wait p99, and event-loop step
-# rate for both — the cluster's scaling factor is the headline number.
+# cluster, with identical closed-loop client load, and write a snapshot
+# JSON (OUT, default BENCH_snapshot.json) with sustained launches/sec,
+# admission-wait p99, and event-loop step rate for both — the cluster's
+# scaling factor is the headline number.
+#
+# Workload and output are parameterized so any PR can regenerate its own
+# snapshot without editing the script:
+#   OUT=BENCH_9.json BENCH=VA,MM CLASS=small CLIENTS=48 PERC=20 SEED=6 \
+#       scripts/bench_snapshot.sh
+# (BENCH_6.json in the repo root was produced by this script with the
+# defaults below. For the open-loop saturation trajectory, see
+# scripts/bench.sh.)
 #
 # -pace makes each node's event loop spend real time per simulated
 # event, so serving is node-bound (as a real GPU would be) and the
@@ -17,7 +26,10 @@ N1="${N1:-127.0.0.1:7472}"
 PACE="${PACE:-200us}"
 CLIENTS="${CLIENTS:-48}"
 PERC="${PERC:-20}"
-OUT="${OUT:-BENCH_6.json}"
+BENCH="${BENCH:-VA,MM}"
+CLASS="${CLASS:-small}"
+SEED="${SEED:-6}"
+OUT="${OUT:-BENCH_snapshot.json}"
 WORK="$(mktemp -d)"
 trap 'kill $(cat "$WORK"/*.pid 2>/dev/null) 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
@@ -34,33 +46,33 @@ wait_ready() {
 }
 
 # ---- run A: one node, direct ----
-"$WORK/flepd" -addr "$N0" -bench VA,MM -pace "$PACE" >"$WORK/a-n0.log" 2>&1 &
+"$WORK/flepd" -addr "$N0" -bench "$BENCH" -pace "$PACE" >"$WORK/a-n0.log" 2>&1 &
 echo $! >"$WORK/a.pid"
 wait_ready "http://$N0/healthz"
 curl -s "http://$N0/metrics" >"$WORK/a-before.prom"
 "$WORK/flepload" -addr "http://$N0" -clients "$CLIENTS" -n "$PERC" \
-    -bench VA,MM -class small -seed 6 | tee "$WORK/a.out"
+    -bench "$BENCH" -class "$CLASS" -seed "$SEED" | tee "$WORK/a.out"
 curl -s "http://$N0/metrics" >"$WORK/a-after.prom"
 kill "$(cat "$WORK/a.pid")" && wait "$(cat "$WORK/a.pid")" 2>/dev/null || true
 rm "$WORK/a.pid"
 
 # ---- run B: two nodes behind the gateway, same client load ----
-"$WORK/flepd" -addr "$N0" -bench VA,MM -pace "$PACE" >"$WORK/b-n0.log" 2>&1 &
+"$WORK/flepd" -addr "$N0" -bench "$BENCH" -pace "$PACE" >"$WORK/b-n0.log" 2>&1 &
 echo $! >"$WORK/b0.pid"
-"$WORK/flepd" -addr "$N1" -bench VA,MM -pace "$PACE" >"$WORK/b-n1.log" 2>&1 &
+"$WORK/flepd" -addr "$N1" -bench "$BENCH" -pace "$PACE" >"$WORK/b-n1.log" 2>&1 &
 echo $! >"$WORK/b1.pid"
 "$WORK/flepgw" -listen "$GW" -nodes "$N0,$N1" >"$WORK/gw.log" 2>&1 &
 echo $! >"$WORK/gw.pid"
 wait_ready "http://$GW/readyz"
 curl -s "http://$GW/metrics" >"$WORK/b-before.prom"
 "$WORK/flepload" -addr "http://$GW" -clients "$CLIENTS" -n "$PERC" \
-    -bench VA,MM -class small -seed 6 | tee "$WORK/b.out"
+    -bench "$BENCH" -class "$CLASS" -seed "$SEED" | tee "$WORK/b.out"
 curl -s "http://$GW/metrics" >"$WORK/b-after.prom"
 
-python3 - "$WORK" "$OUT" "$PACE" "$CLIENTS" "$PERC" <<'EOF'
+python3 - "$WORK" "$OUT" "$PACE" "$CLIENTS" "$PERC" "$BENCH" "$CLASS" "$SEED" <<'EOF'
 import json, re, sys
 
-work, out, pace, clients, perc = sys.argv[1:6]
+work, out, pace, clients, perc, benches, klass, seed = sys.argv[1:9]
 
 def parse_prom(path):
     """family (with _bucket suffix kept) -> list of (labels-dict, value)"""
@@ -128,7 +140,8 @@ single, cluster = run_summary("a"), run_summary("b")
 scaling = cluster["throughput_launches_per_s"] / single["throughput_launches_per_s"]
 bench = {
     "config": {
-        "workload": f"{clients} closed-loop clients x {perc} launches, VA+MM, class small",
+        "workload": f"{clients} closed-loop clients x {perc} launches, "
+                    f"{benches.replace(',', '+')}, class {klass}, seed {seed}",
         "pace": pace,
         "cluster": "2 flepd nodes behind flepgw",
     },
