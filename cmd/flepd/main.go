@@ -64,6 +64,8 @@ func main() {
 		weightsFlag  = flag.String("weights", "", "FFS priority weights, e.g. 1=1,2=2")
 		benchFlag    = flag.String("bench", "all", "benchmarks to load: comma-separated names or all")
 		queueDepth   = flag.Int("queue", 256, "admission queue depth (backpressure bound)")
+		depPending   = flag.Int("dep-pending", 256, "max graph stages parked awaiting prerequisites (per shard)")
+		depGraphs    = flag.Int("dep-graphs", 256, "max live model-graph instances tracked (per shard)")
 		reqTimeout   = flag.Duration("timeout", 30*time.Second, "per-request completion wait bound")
 		traceOn      = flag.Bool("trace", false, "keep a runtime+device event log at /v1/trace")
 		traceLimit   = flag.Int("trace-limit", 65536, "max retained trace entries")
@@ -90,6 +92,8 @@ func main() {
 			Weights:        weights,
 			Benchmarks:     parseBenchList(*benchFlag),
 			QueueDepth:     *queueDepth,
+			DepPending:     *depPending,
+			DepGraphs:      *depGraphs,
 			RequestTimeout: *reqTimeout,
 			Trace:          *traceOn,
 			TraceLimit:     *traceLimit,

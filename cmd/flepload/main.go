@@ -56,6 +56,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"flep/internal/model"
 	"flep/internal/obs"
 	"flep/internal/replay"
 )
@@ -70,6 +71,13 @@ type launchRequest struct {
 	Weight     float64 `json:"weight,omitempty"`
 	TimeoutMS  int     `json:"timeout_ms,omitempty"`
 	DeadlineMS int     `json:"deadline_ms,omitempty"`
+	// Model-graph coordinates (see -model): the daemon parks a stage until
+	// its After prerequisites complete.
+	Model  string   `json:"model,omitempty"`
+	Graph  string   `json:"graph,omitempty"`
+	Stage  string   `json:"stage,omitempty"`
+	After  []string `json:"after,omitempty"`
+	Stages int      `json:"stages,omitempty"`
 }
 
 // launchResult mirrors server.LaunchResult.
@@ -84,6 +92,7 @@ type launchResult struct {
 	OverheadNS   int64   `json:"overhead_ns"`
 	SLO          string  `json:"slo"`
 	SLOMarginNS  int64   `json:"slo_margin_ns"`
+	Canceled     string  `json:"canceled"`
 	Err          string  `json:"error"`
 }
 
@@ -124,6 +133,17 @@ type stats struct {
 	retries  int64 // 429s absorbed
 	timeouts int64 // 504s
 	errors   int64
+	models   map[string]*modelAgg // per-model graph accounting (-model)
+}
+
+// modelAgg accumulates one model's graph outcomes across all clients.
+type modelAgg struct {
+	graphs, completed, canceled         int64
+	stagesOK, stagesCanceled, stagesRej int64
+	sloAttained, sloMissed              int64
+	nttSum                              float64
+	nttN                                int64
+	makespans                           []time.Duration // real time, completed graphs only
 }
 
 func main() {
@@ -140,6 +160,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "SLO budget per latency-critical launch in virtual time (0 = best-effort)")
 		dlShare   = flag.Float64("deadline-share", 1.0, "fraction of launches that carry the -deadline budget (rest stay best-effort)")
 		maxRetry  = flag.Int("max-retries", 200, "max 429 retries per launch")
+		modelCSV  = flag.String("model", "", "model-graph workload: comma-separated NAME[:DEADLINE] specs, where NAME is a preset graph (resnet, bert, diamond), or a path to a JSON graph file, and DEADLINE an SLO budget for the graph's terminal stage. Clients are dealt specs round-robin and submit whole kernel DAGs; deadline-bearing models run latency-critical (priority 2), the rest best-effort (priority 1)")
 		record    = flag.String("record", "", "write a client-side replay trace (JSONL) to this path")
 		verifySrv = flag.Bool("verify-status", true, "reconcile server /v1/status counters after the run (disable when a cluster node is killed mid-run: the dead node's completions leave the gateway's summed view)")
 
@@ -162,33 +183,53 @@ func main() {
 	if err != nil {
 		fatalf("%v", err)
 	}
-	benches := splitCSV(*benchCSV)
-	if len(benches) == 0 {
-		benches, err = discoverBenchmarks(*addr)
-		if err != nil {
-			fatalf("discovering benchmarks: %v", err)
+	specs, err := parseModelSpecs(*modelCSV)
+	if err != nil {
+		fatalf("%v", err)
+	}
+	var benches []string
+	if len(specs) == 0 {
+		benches = splitCSV(*benchCSV)
+		if len(benches) == 0 {
+			benches, err = discoverBenchmarks(*addr)
+			if err != nil {
+				fatalf("discovering benchmarks: %v", err)
+			}
+		}
+		if len(benches) == 0 {
+			fatalf("no benchmarks to launch")
 		}
 	}
-	if len(benches) == 0 {
-		fatalf("no benchmarks to launch")
-	}
 	if *saturate {
-		runSaturation(*addr, benches, *class, satConfig{
+		runSaturation(*addr, benches, *class, specs, satConfig{
 			start: *satStart, factor: *satFactor, window: *satWindow,
 			threshold: *satShare, workers: *satWorkers, maxStages: *satStages,
 			deadline: *deadline,
 		})
 		return
 	}
-	fmt.Printf("flepload: %d clients × %d launches, benches=%s class=%s mix=%s rate=%s\n",
-		*clients, *perC, strings.Join(benches, ","), *class, *prioMix, rateString(*rate))
+	if len(specs) > 0 {
+		names := make([]string, len(specs))
+		for i, sp := range specs {
+			names[i] = sp.String()
+		}
+		fmt.Printf("flepload: %d clients × %d graphs, models=%s rate=%s\n",
+			*clients, *perC, strings.Join(names, ","), rateString(*rate))
+	} else {
+		fmt.Printf("flepload: %d clients × %d launches, benches=%s class=%s mix=%s rate=%s\n",
+			*clients, *perC, strings.Join(benches, ","), *class, *prioMix, rateString(*rate))
+	}
 
 	httpc := &http.Client{Timeout: *timeout + 10*time.Second}
-	st := &stats{}
+	st := &stats{models: map[string]*modelAgg{}}
 	var recorder *replay.Recorder
 	if *record != "" {
 		sorted := append([]string(nil), benches...)
+		for _, sp := range specs {
+			sorted = append(sorted, sp.graph.Benchmarks()...)
+		}
 		sort.Strings(sorted)
+		sorted = dedupSorted(sorted)
 		recorder, err = replay.NewRecorder(*record, replay.Header{
 			Source:     replay.SourceFlepload,
 			Benchmarks: sorted,
@@ -208,7 +249,7 @@ func main() {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
-			runClient(httpc, st, clientConfig{
+			cc := clientConfig{
 				addr: *addr, id: fmt.Sprintf("load-%04d", c),
 				benches: benches, class: *class, mix: mix,
 				n: *perC, rate: *rate, timeout: *timeout,
@@ -216,7 +257,12 @@ func main() {
 				deadline: *deadline, dlShare: *dlShare,
 				rng: rand.New(rand.NewSource(*seed + int64(c))),
 				rec: recorder, runStart: start,
-			})
+			}
+			if len(specs) > 0 {
+				runGraphClient(httpc, st, cc, specs[c%len(specs)])
+			} else {
+				runClient(httpc, st, cc)
+			}
 		}(c)
 	}
 	wg.Wait()
@@ -462,6 +508,234 @@ func launchOnce(httpc *http.Client, st *stats, cc clientConfig, req launchReques
 	}
 }
 
+// ---- model-graph clients (-model) ----
+
+// modelSpec is one parsed -model element: a loaded DAG plus the SLO
+// budget its terminal stage carries (zero = best-effort model).
+type modelSpec struct {
+	name     string
+	graph    *model.Graph
+	deadline time.Duration
+}
+
+func (sp modelSpec) String() string {
+	if sp.deadline > 0 {
+		return fmt.Sprintf("%s:%v", sp.name, sp.deadline)
+	}
+	return sp.name
+}
+
+// parseModelSpecs parses "resnet:5ms,bert" into model specs. A name that
+// looks like a path (contains a separator or dot) loads a JSON graph
+// file; anything else must be a preset.
+func parseModelSpecs(s string) ([]modelSpec, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return nil, nil
+	}
+	var out []modelSpec
+	for _, f := range strings.Split(s, ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		name, dl, hasDL := strings.Cut(f, ":")
+		sp := modelSpec{}
+		var g *model.Graph
+		var err error
+		if strings.ContainsAny(name, "/.") {
+			g, err = model.Load(name)
+		} else {
+			g, err = model.ByName(name)
+		}
+		if err != nil {
+			return nil, fmt.Errorf("model %q: %v", name, err)
+		}
+		sp.graph = g
+		sp.name = g.Name
+		if hasDL {
+			d, err := time.ParseDuration(dl)
+			if err != nil || d <= 0 {
+				return nil, fmt.Errorf("model %q: bad deadline %q (want a positive duration)", name, dl)
+			}
+			sp.deadline = d
+		} else if g.DeadlineMS > 0 {
+			sp.deadline = time.Duration(g.DeadlineMS) * time.Millisecond
+		}
+		out = append(out, sp)
+	}
+	return out, nil
+}
+
+// dedupSorted removes adjacent duplicates from a sorted slice.
+func dedupSorted(s []string) []string {
+	out := s[:0]
+	for i, v := range s {
+		if i == 0 || v != s[i-1] {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// stageOutcome is one stage POST's terminal result within a graph.
+type stageOutcome struct {
+	stage   string
+	status  int // HTTP status; 0 on transport/decode error
+	node    string
+	res     launchResult
+	latency time.Duration
+}
+
+// submitGraph posts every stage of one graph instance concurrently — the
+// daemon's pending-dependency table enforces ordering — and returns when
+// all stages are terminal. Graph stages are never retried: a 429 or 409
+// is the graph's outcome, not an obstacle (the DISB-style client measures
+// what the serving system did, it does not paper over shedding).
+func submitGraph(httpc *http.Client, addr string, sp modelSpec, client, graphID string,
+	timeout time.Duration, rec *replay.Recorder, runStart time.Time) []stageOutcome {
+	g := sp.graph
+	terminal := g.Terminal().Name
+	prio := 1
+	if sp.deadline > 0 {
+		prio = 2
+	}
+	outs := make([]stageOutcome, len(g.Stages))
+	var wg sync.WaitGroup
+	for i := range g.Stages {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			stg := &g.Stages[i]
+			req := launchRequest{
+				Client: client, Benchmark: stg.Bench, Class: stg.Class,
+				Priority: prio, TimeoutMS: int(timeout / time.Millisecond),
+				Model: sp.name, Graph: graphID, Stage: stg.Name,
+				After: stg.After, Stages: len(g.Stages),
+			}
+			if stg.Name == terminal && sp.deadline > 0 {
+				req.DeadlineMS = int(sp.deadline / time.Millisecond)
+			}
+			body, _ := json.Marshal(req)
+			begin := time.Now()
+			resp, err := httpc.Post(addr+"/v1/launch", "application/json", bytes.NewReader(body))
+			if err != nil {
+				outs[i] = stageOutcome{stage: stg.Name}
+				return
+			}
+			var res launchResult
+			decErr := json.NewDecoder(resp.Body).Decode(&res)
+			io.Copy(io.Discard, resp.Body)
+			node := resp.Header.Get("X-Flep-Node")
+			resp.Body.Close()
+			status := resp.StatusCode
+			if status == http.StatusOK && decErr != nil {
+				status = 0
+			}
+			outs[i] = stageOutcome{stage: stg.Name, status: status, node: node, res: res, latency: time.Since(begin)}
+			if rec != nil && status == http.StatusOK {
+				sloClass := ""
+				if req.DeadlineMS > 0 {
+					sloClass = "latency"
+				}
+				rec.Record(replay.Record{
+					At:         begin.Sub(runStart).Nanoseconds(),
+					Device:     res.Device,
+					Node:       node,
+					Client:     client,
+					Bench:      req.Benchmark,
+					Class:      req.Class,
+					Priority:   req.Priority,
+					DeadlineNS: int64(req.DeadlineMS) * int64(time.Millisecond),
+					SLOClass:   sloClass,
+					Model:      sp.name,
+					GraphID:    graphID,
+					Stage:      stg.Name,
+					After:      stg.After,
+				})
+			}
+		}(i)
+	}
+	wg.Wait()
+	return outs
+}
+
+// runGraphClient is the dependent-client loop: each iteration submits one
+// whole graph instance (closed loop by default; -rate paces iterations
+// open-loop), then folds the outcome into the per-model aggregates.
+func runGraphClient(httpc *http.Client, st *stats, cc clientConfig, sp modelSpec) {
+	var tick <-chan time.Time
+	if cc.rate > 0 {
+		t := time.NewTicker(time.Duration(float64(time.Second) / cc.rate))
+		defer t.Stop()
+		tick = t.C
+	}
+	for i := 0; i < cc.n; i++ {
+		if tick != nil {
+			<-tick
+		}
+		graphID := fmt.Sprintf("%s-g%04d", cc.id, i)
+		begin := time.Now()
+		outs := submitGraph(httpc, cc.addr, sp, cc.id, graphID, cc.timeout, cc.rec, cc.runStart)
+		st.noteGraph(sp.name, outs, time.Since(begin))
+	}
+}
+
+// noteGraph folds one graph instance's stage outcomes into the stats.
+func (st *stats) noteGraph(name string, outs []stageOutcome, makespan time.Duration) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	agg := st.models[name]
+	if agg == nil {
+		agg = &modelAgg{}
+		st.models[name] = agg
+	}
+	agg.graphs++
+	allOK := true
+	for _, o := range outs {
+		switch o.status {
+		case http.StatusOK:
+			agg.stagesOK++
+			agg.nttSum += o.res.NTT
+			agg.nttN++
+			switch o.res.SLO {
+			case "attained":
+				agg.sloAttained++
+			case "missed":
+				agg.sloMissed++
+			}
+			st.samples = append(st.samples, sample{
+				id: o.res.ID, device: o.res.Device, node: o.node,
+				realLatency: o.latency,
+				turnaround:  time.Duration(o.res.TurnaroundNS),
+				waiting:     time.Duration(o.res.WaitingNS),
+				ntt:         o.res.NTT,
+				preemptions: o.res.Preemptions,
+				slo:         o.res.SLO,
+				sloMargin:   time.Duration(o.res.SLOMarginNS),
+			})
+		case http.StatusConflict:
+			agg.stagesCanceled++
+			allOK = false
+		case http.StatusTooManyRequests:
+			agg.stagesRej++
+			allOK = false
+		case http.StatusGatewayTimeout:
+			st.timeouts++
+			allOK = false
+		default:
+			st.errors++
+			allOK = false
+		}
+	}
+	if allOK {
+		agg.completed++
+		agg.makespans = append(agg.makespans, makespan)
+	} else {
+		agg.canceled++
+	}
+}
+
 // ---- saturation ramp (-saturate) ----
 
 type satConfig struct {
@@ -494,8 +768,11 @@ type satSummary struct {
 
 // runSaturation ramps offered load geometrically until the daemon sheds
 // past the threshold, reports the best sustained completion rate seen,
-// and verifies exactly-once accounting once the storm has drained.
-func runSaturation(addr string, benches []string, class string, sc satConfig) {
+// and verifies exactly-once accounting once the storm has drained. With
+// model specs the unit of offered load is one whole graph: each token
+// submits every stage of a DAG instance and counts as OK only when all
+// of them complete.
+func runSaturation(addr string, benches []string, class string, specs []modelSpec, sc satConfig) {
 	// Pre-marshal one body per benchmark: the submit path itself should
 	// cost as little as possible so the client is never the bottleneck.
 	bodies := make([][]byte, len(benches))
@@ -507,13 +784,22 @@ func runSaturation(addr string, benches []string, class string, sc satConfig) {
 		bodies[i], _ = json.Marshal(req)
 	}
 	httpc := &http.Client{Timeout: 30 * time.Second}
-	fmt.Printf("flepload: saturation ramp, benches=%s class=%s start=%.0f/s ×%.2f window=%v threshold=%.0f%% workers=%d\n",
-		strings.Join(benches, ","), class, sc.start, sc.factor, sc.window, 100*sc.threshold, sc.workers)
+	if len(specs) > 0 {
+		names := make([]string, len(specs))
+		for i, sp := range specs {
+			names[i] = sp.String()
+		}
+		fmt.Printf("flepload: saturation ramp, models=%s (1 token = 1 graph) start=%.0f/s ×%.2f window=%v threshold=%.0f%% workers=%d\n",
+			strings.Join(names, ","), sc.start, sc.factor, sc.window, 100*sc.threshold, sc.workers)
+	} else {
+		fmt.Printf("flepload: saturation ramp, benches=%s class=%s start=%.0f/s ×%.2f window=%v threshold=%.0f%% workers=%d\n",
+			strings.Join(benches, ","), class, sc.start, sc.factor, sc.window, 100*sc.threshold, sc.workers)
+	}
 
 	sum := satSummary{}
 	offered := sc.start
 	for i := 0; i < sc.maxStages; i++ {
-		st := runSatStage(httpc, addr, bodies, offered, sc)
+		st := runSatStage(httpc, addr, bodies, specs, offered, sc)
 		sum.Stages = append(sum.Stages, st)
 		fmt.Printf("  stage %2d: offered %9.0f/s  ok %7d (%9.1f/s)  429=%5.1f%%  errors=%d dropped=%d\n",
 			i, st.OfferedPerS, st.OK, st.AchievedPerS, 100*st.RejectShare, st.Errors, st.Dropped)
@@ -567,8 +853,10 @@ func runSaturation(addr string, benches []string, class string, sc satConfig) {
 // runSatStage offers load at a fixed rate for one window: a token
 // dispatcher converts the rate into submission permits, workers spend
 // them on un-retried POSTs, and the stage's outcome counts live in
-// atomics (no shared lock on the submit path).
-func runSatStage(httpc *http.Client, addr string, bodies [][]byte, offered float64, sc satConfig) satStage {
+// atomics (no shared lock on the submit path). With model specs a permit
+// buys a whole graph: all stages submitted, OK only if all completed,
+// 429 if any stage was shed.
+func runSatStage(httpc *http.Client, addr string, bodies [][]byte, specs []modelSpec, offered float64, sc satConfig) satStage {
 	var ok, rej, errs, dropped atomic.Int64
 	tokens := make(chan struct{}, 4*sc.workers)
 	stop := make(chan struct{})
@@ -604,12 +892,37 @@ func runSatStage(httpc *http.Client, addr string, bodies [][]byte, offered float
 	}()
 	var wg sync.WaitGroup
 	var rr atomic.Int64
+	runStart := time.Now()
 	for w := 0; w < sc.workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for range tokens {
-				body := bodies[int(rr.Add(1)-1)%len(bodies)]
+				seq := rr.Add(1) - 1
+				if len(specs) > 0 {
+					sp := specs[int(seq)%len(specs)]
+					graphID := fmt.Sprintf("sat-g%06d", seq)
+					outs := submitGraph(httpc, addr, sp, "saturate", graphID, 25*time.Second, nil, runStart)
+					allOK, any429 := true, false
+					for _, o := range outs {
+						if o.status != http.StatusOK {
+							allOK = false
+						}
+						if o.status == http.StatusTooManyRequests {
+							any429 = true
+						}
+					}
+					switch {
+					case allOK:
+						ok.Add(1)
+					case any429:
+						rej.Add(1)
+					default:
+						errs.Add(1)
+					}
+					continue
+				}
+				body := bodies[int(seq)%len(bodies)]
 				resp, err := httpc.Post(addr+"/v1/launch", "application/json", bytes.NewReader(body))
 				if err != nil {
 					errs.Add(1)
@@ -718,6 +1031,37 @@ func report(st *stats, wall time.Duration) {
 		fmt.Printf("SLO:           attained=%d missed=%d rate=%.1f%% mean-margin=%v (virtual)\n",
 			attained, missed, 100*float64(attained)/float64(tracked),
 			(marginSum / time.Duration(tracked)).Round(time.Microsecond))
+	}
+
+	// Per-model breakdown when the run submitted kernel DAGs (-model):
+	// graph completion, stage outcomes, SLO attainment on the terminal
+	// stage, and real graph makespan (first POST to last stage done).
+	if len(st.models) > 0 {
+		names := make([]string, 0, len(st.models))
+		for name := range st.models {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		fmt.Printf("per model:\n")
+		for _, name := range names {
+			a := st.models[name]
+			line := fmt.Sprintf("  model %-10s graphs=%d completed=%d canceled=%d  stages ok=%d canceled=%d shed=%d",
+				name, a.graphs, a.completed, a.canceled, a.stagesOK, a.stagesCanceled, a.stagesRej)
+			if a.nttN > 0 {
+				line += fmt.Sprintf("  ANTT %.3f", a.nttSum/float64(a.nttN))
+			}
+			if tracked := a.sloAttained + a.sloMissed; tracked > 0 {
+				line += fmt.Sprintf("  slo=%d/%d", a.sloAttained, tracked)
+			}
+			if len(a.makespans) > 0 {
+				sorted := append([]time.Duration(nil), a.makespans...)
+				sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+				line += fmt.Sprintf("  makespan p50=%v p99=%v",
+					percentile(sorted, 50).Round(time.Microsecond),
+					percentile(sorted, 99).Round(time.Microsecond))
+			}
+			fmt.Println(line)
+		}
 	}
 
 	// Per-node breakdown when the target is a flepgw cluster: each node's

@@ -62,6 +62,13 @@ type Invocation struct {
 	// not an execution error — but EDF schedules against it.
 	Deadline time.Duration
 
+	// Dependent marks an invocation that is part of a model graph and was
+	// released from the daemon's pending-dependency table: its prerequisites
+	// completed before it entered this queue. The runtime schedules it like
+	// any other invocation but accounts it separately, so the dependency-
+	// visible queue depth can be read off the metrics.
+	Dependent bool
+
 	// Te is the predicted duration (never updated after submission).
 	Te time.Duration
 	// Tw is the accumulated waiting time.

@@ -36,6 +36,12 @@ type Metrics struct {
 	QueueWait *obs.Histogram
 	// QueueLength tracks the policy queue depth after each reconcile.
 	QueueLength *obs.Gauge
+	// DependentSubmits counts accepted invocations that belong to a model
+	// graph (released from the daemon's pending-dependency table);
+	// DependentQueueLength tracks how many of the queued invocations are
+	// graph stages, making dependency load visible in queue accounting.
+	DependentSubmits     *obs.Counter
+	DependentQueueLength *obs.Gauge
 
 	// FFS policy internals (zero-valued under HPF).
 	EpochsOpened   *obs.Counter
@@ -67,6 +73,10 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Virtual waiting time folded into T_w at each dispatch", nil),
 		QueueLength: reg.Gauge("flep_runtime_queue_length",
 			"Invocations waiting in the policy queue"),
+		DependentSubmits: reg.Counter("flep_runtime_dependent_submits_total",
+			"Accepted invocations that are model-graph stages"),
+		DependentQueueLength: reg.Gauge("flep_runtime_dependent_queue_length",
+			"Model-graph stages waiting in the policy queue"),
 		EpochsOpened: reg.Counter("flep_ffs_epochs_total",
 			"FFS epochs opened (GPU handovers plus sole-tenant extensions)", "kind", "rotation"),
 		EpochExtends: reg.Counter("flep_ffs_epochs_total",

@@ -138,10 +138,27 @@ func (r *Runtime) Submit(v *Invocation) error {
 	v.beginWait(r.dev.Now())
 	r.cfg.Policy.Enqueue(v)
 	r.met.Submits.Inc()
-	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
+	if v.Dependent {
+		r.met.DependentSubmits.Inc()
+	}
+	r.setQueueGauges()
 	r.log("submit", v.Kernel, fmt.Sprintf("id=%d prio=%d Te=%v", v.ID, v.Priority, v.Te))
 	r.schedule()
 	return nil
+}
+
+// setQueueGauges refreshes the policy-queue depth gauges: total waiting
+// invocations and the model-graph subset among them.
+func (r *Runtime) setQueueGauges() {
+	queued := r.cfg.Policy.Queued()
+	dep := 0
+	for _, q := range queued {
+		if q.Dependent {
+			dep++
+		}
+	}
+	r.met.QueueLength.Set(float64(len(queued)))
+	r.met.DependentQueueLength.Set(float64(dep))
 }
 
 // fits reports whether the invocation's working set can be (or already is)
@@ -316,7 +333,7 @@ func (r *Runtime) dispatch(v *Invocation, smLo, smHi int, asGuest bool) {
 		r.running = v
 		r.met.Dispatches.Inc()
 	}
-	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
+	r.setQueueGauges()
 	r.log("dispatch", v.Kernel, fmt.Sprintf("id=%d sms=[%d,%d) guest=%v", v.ID, smLo, smHi, asGuest))
 	r.cfg.Policy.OnDispatch(r, v)
 }
@@ -408,7 +425,7 @@ func (r *Runtime) onDrained(v *Invocation, remaining int) {
 	}
 	r.log("drained", v.Kernel, fmt.Sprintf("temporal remaining=%d", remaining))
 	r.cfg.Policy.Enqueue(v)
-	r.met.QueueLength.Set(float64(len(r.cfg.Policy.Queued())))
+	r.setQueueGauges()
 	r.schedule()
 }
 

@@ -155,6 +155,18 @@ func TestLoopPuritySharedLockFixture(t *testing.T) {
 	checkFixture(t, "flep/internal/server/fixturesrv", LoopPurityAnalyzer)
 }
 
+// The DAG-iteration fixtures cover the dependency-table patterns the
+// model-graph subsystem introduced: releasing stages by ranging a map
+// (maporder) and walking the table from the loop under a handler-shared
+// lock with bare channel sends (looppurity).
+func TestDagIterationMapOrderFixture(t *testing.T) {
+	checkFixture(t, "fixtures/dagiter", MapOrderAnalyzer)
+}
+
+func TestDagIterationLoopPurityFixture(t *testing.T) {
+	checkFixture(t, "flep/internal/server/fixturedag", LoopPurityAnalyzer)
+}
+
 func TestLockDisciplineFixture(t *testing.T) {
 	checkFixture(t, "fixtures/lockheld", LockDisciplineAnalyzer)
 }

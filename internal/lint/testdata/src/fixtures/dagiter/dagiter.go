@@ -1,0 +1,70 @@
+// Package dagiter exercises the map-order analyzer on the DAG-release
+// pattern the serving daemon's dependency table uses: a graph keeps its
+// stages in a map, and releasing newly-unblocked stages by ranging that
+// map leaks Go's randomized iteration order into the admission
+// sequence — the exact bug class that breaks byte-identical replay of a
+// recorded model run.
+package dagiter
+
+import "sort"
+
+type stage struct {
+	after  []string
+	done   bool
+	parked bool
+}
+
+type graph struct {
+	stages map[string]*stage
+	order  []string // registration order
+}
+
+func ready(g *graph, s *stage) bool {
+	for _, dep := range s.after {
+		p := g.stages[dep]
+		if p == nil || !p.done {
+			return false
+		}
+	}
+	return true
+}
+
+// ReleaseFromMap collects newly-unblocked stages by ranging the stage
+// map: the release order differs run to run, so a replay of the same
+// graph admits stages in a different sequence.
+func ReleaseFromMap(g *graph) []string {
+	var released []string
+	for name, s := range g.stages {
+		if s.parked && ready(g, s) {
+			released = append(released, name) // want `maporder append to released inside map iteration`
+		}
+	}
+	return released
+}
+
+// ReleaseSorted is the sanctioned collect-then-sort escape: the map
+// range still feeds the slice, but a sort follows in the same function.
+func ReleaseSorted(g *graph) []string {
+	var released []string
+	for name, s := range g.stages {
+		if s.parked && ready(g, s) {
+			released = append(released, name)
+		}
+	}
+	sort.Strings(released)
+	return released
+}
+
+// ReleaseInOrder walks the registration-order slice and only indexes
+// the map — the dependency table's real idiom, deterministic by
+// construction.
+func ReleaseInOrder(g *graph) []string {
+	var released []string
+	for _, name := range g.order {
+		s := g.stages[name]
+		if s.parked && ready(g, s) {
+			released = append(released, name)
+		}
+	}
+	return released
+}

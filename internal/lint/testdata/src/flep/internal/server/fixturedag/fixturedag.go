@@ -1,0 +1,58 @@
+// Package fixturedag exercises the looppurity analyzer on the
+// dependency-table shape: a loop-rooted completion handler walks a
+// graph's stages under a mutex that handler-side code also takes and
+// answers canceled stages over per-request channels. The bare send and
+// the shared lock are exactly what deps.go must annotate (bounded
+// critical section, provably buffered channel) or restructure.
+package fixturedag
+
+import "sync"
+
+type stage struct {
+	parked bool
+	done   chan string
+}
+
+// Server mirrors the daemon's shape: mu guards the stage table and is
+// taken from both the loop goroutine and HTTP handlers.
+type Server struct {
+	mu     sync.Mutex // also taken by Park (handler side)
+	stages map[string]*stage
+	order  []string
+}
+
+// complete runs on the loop goroutine (rooted by name in
+// internal/server packages).
+func (s *Server) complete() {
+	s.mu.Lock() // want `sharedlock s\.mu\.Lock`
+	for _, name := range s.order {
+		st := s.stages[name]
+		if st.parked {
+			st.parked = false
+			st.done <- "canceled" // want `blockingsend channel send`
+		}
+	}
+	s.mu.Unlock()
+}
+
+// Park is handler-side: it takes the same mutex the loop walks the
+// table under, which is what makes mu a shared lock.
+func (s *Server) Park(name string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.stages[name] = &stage{parked: true, done: make(chan string, 1)}
+	s.order = append(s.order, name)
+}
+
+// admit is also loop-rooted by name; its select-with-default send is
+// the sanctioned non-blocking delivery.
+func (s *Server) admit(name string) {
+	st := s.stages[name]
+	if st == nil {
+		return
+	}
+	select {
+	case st.done <- "admitted":
+	default:
+	}
+}

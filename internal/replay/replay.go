@@ -282,8 +282,14 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 	}
 
 	devs := make([]*devRun, eff.Devices)
-	var divTe, divStep, divPlacement, submitErrors int64
+	var divTe, divStep, divPlacement, divDependency, submitErrors int64
 	var outcomes []*outcome
+	// Model-graph bookkeeping: which recorded stages have finished in the
+	// replay and which shard each landed on, so timed mode can hold a
+	// dependent stage until its prerequisites complete (the live daemon's
+	// pending-dependency table, replayed).
+	stageDone := map[stageKey]bool{}
+	stageDev := map[stageKey]int{}
 	for i := range devs {
 		policy, ffs, err := newPolicy(eff)
 		if err != nil {
@@ -357,6 +363,7 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 			L:          L,
 			WorkingSet: in.Bytes / 8,
 			Te:         te,
+			Dependent:  rec.GraphID != "",
 			OnFinish: func(fv *flepruntime.Invocation) {
 				o.turnaround = fv.Turnaround()
 				o.waiting = fv.Tw
@@ -364,6 +371,9 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 				o.preemptions = fv.Preemptions
 				d.inFlight--
 				d.completed++
+				if rec.GraphID != "" && rec.Stage != "" {
+					stageDone[stageKey{rec.Client, rec.GraphID, rec.Stage}] = true
+				}
 				outcomes = append(outcomes, o)
 			},
 		}
@@ -374,7 +384,35 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 			return nil
 		}
 		d.inFlight++
+		if rec.GraphID != "" && rec.Stage != "" {
+			stageDev[stageKey{rec.Client, rec.GraphID, rec.Stage}] = devIdx
+		}
 		return nil
+	}
+
+	// awaitPrereqs holds a dependent record until its prerequisites have
+	// finished, stepping each prerequisite's shard forward (timed mode
+	// only; exact mode's step indices already encode the live ordering). A
+	// prerequisite that never completes — not in the trace, or stuck — is
+	// a dependency divergence: the live daemon only admitted this stage
+	// because its prerequisites completed there.
+	awaitPrereqs := func(rec Record) {
+		for _, pre := range rec.After {
+			k := stageKey{rec.Client, rec.GraphID, pre}
+			if stageDone[k] {
+				continue
+			}
+			di, ok := stageDev[k]
+			if !ok {
+				divDependency++
+				continue
+			}
+			for !stageDone[k] && devs[di].eng.Step() {
+			}
+			if !stageDone[k] {
+				divDependency++
+			}
+		}
 	}
 
 	switch mode {
@@ -445,6 +483,9 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 					divPlacement++
 				}
 			}
+			if rec.GraphID != "" && len(rec.After) > 0 {
+				awaitPrereqs(rec)
+			}
 			if err := submit(devs[target], target, rec); err != nil {
 				return nil, err
 			}
@@ -456,19 +497,25 @@ func (rp *Replayer) Run(cfg ReplayConfig) (*Summary, error) {
 		d.eng.Run()
 	}
 
-	sum := rp.summarize(eff, policyName, mode, devs, outcomes, divTe, divStep, divPlacement, submitErrors)
+	sum := rp.summarize(eff, policyName, mode, devs, outcomes, divTe, divStep, divPlacement, divDependency, submitErrors)
 	if eff.Registry != nil {
 		reg := eff.Registry
 		reg.Counter("flep_replay_records_total", "Trace records replayed").Add(int64(len(rp.trace.Records)))
 		reg.Counter("flep_replay_completed_total", "Replayed launches that completed").Add(int64(sum.Completed))
 		div := func(kind string) *obs.Counter {
 			return reg.Counter("flep_replay_divergence_total",
-				"Replay divergences from the recorded run", "kind", kind) //flepvet:allow metriclabel -- kind is one of four compile-time literals below; cardinality is fixed
+				"Replay divergences from the recorded run", "kind", kind) //flepvet:allow metriclabel -- kind is one of five compile-time literals below; cardinality is fixed
 		}
 		div("te_prediction").Add(divTe)
 		div("step_shortfall").Add(divStep)
 		div("placement").Add(divPlacement)
+		div("dependency").Add(divDependency)
 		div("submit_error").Add(submitErrors)
 	}
 	return sum, nil
 }
+
+// stageKey identifies one graph stage across the replay: the recording
+// daemon keys its dependency table by (client, graph), so the replayed
+// identity must too.
+type stageKey struct{ client, graph, stage string }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"encoding/json"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -285,8 +286,120 @@ func TestTraceWriteFileRoundTrip(t *testing.T) {
 	for i := range tr.Records {
 		a, b := tr.Records[i], got.Records[i]
 		a.Wall, b.Wall = 0, 0 // recorder stamps wall offsets; ignore
-		if a != b {
+		if !reflect.DeepEqual(a, b) {
 			t.Fatalf("record %d: %+v vs %+v", i, a, b)
 		}
+	}
+}
+
+// modelTrace hand-builds a timed-mode trace carrying two instances of a
+// three-stage chain model (the terminal stage deadline-bearing) plus one
+// plain launch, the shape a flepload -model run records.
+func modelTrace() *Trace {
+	tr := &Trace{Header: Header{
+		Magic: true, TraceVersion: Version, Source: SourceFlepload,
+		Policy: "edf", Benchmarks: []string{"MM", "VA"}, Seed: 11,
+	}}
+	ms := int64(time.Millisecond)
+	seq := int64(0)
+	add := func(at int64, client, bench, graph, stage string, after []string, deadline int64) {
+		seq++
+		rec := Record{
+			Seq: seq, At: at, Device: -1,
+			Client: client, Bench: bench, Class: "small", Priority: 1,
+			GraphID: graph, Stage: stage, After: after,
+		}
+		if graph != "" {
+			rec.Model = "toy"
+		}
+		if deadline > 0 {
+			rec.DeadlineNS, rec.SLOClass, rec.Priority = deadline, "latency", 2
+		}
+		tr.Records = append(tr.Records, rec)
+	}
+	budget := int64(2 * time.Second)
+	add(0, "lc", "VA", "g1", "a", nil, 0)
+	add(ms/2, "be", "VA", "", "", nil, 0)
+	add(ms, "lc", "MM", "g1", "b", []string{"a"}, 0)
+	add(2*ms, "lc", "VA", "g1", "c", []string{"b"}, budget)
+	add(3*ms, "lc", "VA", "g2", "a", nil, 0)
+	add(4*ms, "lc", "MM", "g2", "b", []string{"a"}, 0)
+	add(5*ms, "lc", "VA", "g2", "c", []string{"b"}, budget)
+	return tr
+}
+
+// A deadline-bearing model trace replays byte-identically — across runs
+// of one replayer and across independently built replayers — with stage
+// dependencies honored (zero dependency divergence) and the per-model
+// rows populated.
+func TestModelTraceReplayByteIdentical(t *testing.T) {
+	tr := modelTrace()
+	rp, err := NewReplayer(tr, ReplayerOptions{})
+	if err != nil {
+		t.Fatalf("replayer: %v", err)
+	}
+	cfg := ReplayConfig{Policy: "edf", Seed: 11}
+	s1, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 1: %v", err)
+	}
+	s2, err := rp.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 2: %v", err)
+	}
+	if b1, b2 := mustJSON(t, s1), mustJSON(t, s2); !bytes.Equal(b1, b2) {
+		t.Fatalf("same replayer, same config: summaries differ\n%s\n%s", b1, b2)
+	}
+	rp2, err := NewReplayer(modelTrace(), ReplayerOptions{})
+	if err != nil {
+		t.Fatalf("second replayer: %v", err)
+	}
+	s3, err := rp2.Run(cfg)
+	if err != nil {
+		t.Fatalf("run 3: %v", err)
+	}
+	if b1, b3 := mustJSON(t, s1), mustJSON(t, s3); !bytes.Equal(b1, b3) {
+		t.Fatalf("independent replayers disagree\n%s\n%s", b1, b3)
+	}
+
+	if s1.Completed != len(tr.Records) || s1.SubmitErrors != 0 {
+		t.Fatalf("completed %d of %d, submit errors %d", s1.Completed, len(tr.Records), s1.SubmitErrors)
+	}
+	if s1.Divergence.Dependency != 0 {
+		t.Fatalf("dependency divergence on an in-order trace: %d", s1.Divergence.Dependency)
+	}
+	if len(s1.Models) != 1 {
+		t.Fatalf("models = %+v, want one row", s1.Models)
+	}
+	m := s1.Models[0]
+	if m.Model != "toy" || m.Graphs != 2 || m.GraphsCompleted != 2 ||
+		m.StagesCompleted != 6 || m.StagesCanceled != 0 {
+		t.Fatalf("toy row = %+v", m)
+	}
+	if m.SLOAttained+m.SLOMissed != 2 {
+		t.Fatalf("deadline-bearing terminal stages not tracked: %+v", m)
+	}
+	if m.MeanMakespanNS <= 0 {
+		t.Fatalf("makespan not positive: %+v", m)
+	}
+
+	var text bytes.Buffer
+	s1.RenderText(&text)
+	if !strings.Contains(text.String(), "model toy") {
+		t.Fatalf("text report lacks the model row:\n%s", text.String())
+	}
+
+	// The trace itself round-trips through disk and still carries the
+	// graph coordinates.
+	path := filepath.Join(t.TempDir(), "model.trace")
+	if err := tr.WriteFile(path); err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	got, err := Load(path)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if !reflect.DeepEqual(tr.Records, got.Records) {
+		t.Fatalf("records mangled on disk round-trip")
 	}
 }

@@ -62,6 +62,12 @@ type Summary struct {
 	PerPriority []PrioritySummary `json:"per_priority"`
 	Tenants     []TenantSummary   `json:"tenants"`
 
+	// Models aggregates graph-bearing records per model name, mirroring
+	// the live daemon's /v1/status models block so a recorded model run
+	// reconciles against its replay. Omitted for traces with no graph
+	// records, keeping pre-DAG summaries byte-identical.
+	Models []ModelSummary `json:"models,omitempty"`
+
 	Divergence Divergence `json:"divergence"`
 }
 
@@ -89,6 +95,29 @@ type TenantSummary struct {
 	SLOAttainRate float64 `json:"slo_attain_rate,omitempty"`
 }
 
+// ModelSummary aggregates one model's graph-bearing records: how many
+// graph instances the trace carried, how many replayed to full
+// completion, and the stage/SLO accounting the live daemon tracks in its
+// models block.
+type ModelSummary struct {
+	Model string `json:"model"`
+	// Graphs counts distinct graph instances in the trace;
+	// GraphsCompleted those whose every recorded stage finished in the
+	// replay.
+	Graphs          int `json:"graphs"`
+	GraphsCompleted int `json:"graphs_completed"`
+	StagesCompleted int `json:"stages_completed"`
+	// StagesCanceled counts recorded stages that did not finish in the
+	// replay (zero on a faithful replay: the live daemon only records
+	// admitted stages, and admitted stages complete).
+	StagesCanceled int `json:"stages_canceled,omitempty"`
+	SLOAttained    int `json:"slo_attained,omitempty"`
+	SLOMissed      int `json:"slo_missed,omitempty"`
+	// MeanMakespanNS is the mean virtual time from a graph's first stage
+	// submission to its last stage completion, over fully-completed graphs.
+	MeanMakespanNS int64 `json:"mean_makespan_ns,omitempty"`
+}
+
 // Divergence counts where the replay departed from the recorded run.
 // All-zero on a faithful exact-mode replay; nonzero values localize what
 // changed (retrained predictor, different placement, config drift).
@@ -96,11 +125,15 @@ type Divergence struct {
 	TePrediction  int64 `json:"te_prediction"`
 	StepShortfall int64 `json:"step_shortfall"`
 	Placement     int64 `json:"placement"`
-	SubmitErrors  int64 `json:"submit_errors"`
+	// Dependency counts graph stages whose prerequisites could not be
+	// brought to completion before submission in timed mode (prerequisite
+	// missing from the trace or stuck).
+	Dependency   int64 `json:"dependency,omitempty"`
+	SubmitErrors int64 `json:"submit_errors"`
 }
 
 func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*devRun,
-	outcomes []*outcome, divTe, divStep, divPlacement, submitErrors int64) *Summary {
+	outcomes []*outcome, divTe, divStep, divPlacement, divDependency, submitErrors int64) *Summary {
 	sum := &Summary{
 		Mode: mode, Policy: policy, Devices: eff.Devices,
 		Spatial: *eff.Spatial, SpatialSMs: eff.SpatialSMs,
@@ -109,7 +142,8 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 		SubmitErrors: submitErrors,
 		Divergence: Divergence{
 			TePrediction: divTe, StepShortfall: divStep,
-			Placement: divPlacement, SubmitErrors: submitErrors,
+			Placement: divPlacement, Dependency: divDependency,
+			SubmitErrors: submitErrors,
 		},
 	}
 
@@ -240,6 +274,8 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 		sum.Fairness = (jainSum * jainSum) / (float64(jainN) * jainSq)
 	}
 
+	sum.Models = rp.modelRows(outcomes)
+
 	// Drain latencies across all shards, exact percentiles.
 	var drains []time.Duration
 	for _, d := range devs {
@@ -250,6 +286,104 @@ func (rp *Replayer) summarize(eff ReplayConfig, policy, mode string, devs []*dev
 	sum.DrainP90NS = int64(percentile(drains, 0.90))
 	sum.DrainP99NS = int64(percentile(drains, 0.99))
 	return sum
+}
+
+// modelRows aggregates graph-bearing records and outcomes into per-model
+// rows (nil when the trace has none). A graph instance is keyed by
+// (client, graph id), matching the recording daemon's dependency table.
+func (rp *Replayer) modelRows(outcomes []*outcome) []ModelSummary {
+	type graphAgg struct {
+		model     string
+		recorded  int
+		completed int
+		first     time.Duration
+		last      time.Duration
+	}
+	type graphKey struct{ client, graph string }
+	graphs := map[graphKey]*graphAgg{}
+	order := []graphKey{} // deterministic iteration: first-seen order
+	modelName := func(rec *Record) string {
+		if rec.Model != "" {
+			return rec.Model
+		}
+		return "default"
+	}
+	for i := range rp.trace.Records {
+		rec := &rp.trace.Records[i]
+		if rec.GraphID == "" {
+			continue
+		}
+		k := graphKey{rec.Client, rec.GraphID}
+		g := graphs[k]
+		if g == nil {
+			g = &graphAgg{model: modelName(rec)}
+			graphs[k] = g
+			order = append(order, k)
+		}
+		g.recorded++
+	}
+	if len(graphs) == 0 {
+		return nil
+	}
+	for _, o := range outcomes {
+		if o.rec.GraphID == "" {
+			continue
+		}
+		g := graphs[graphKey{o.rec.Client, o.rec.GraphID}]
+		if g == nil {
+			continue
+		}
+		submitted := o.finishedAt - o.turnaround
+		if g.completed == 0 || submitted < g.first {
+			g.first = submitted
+		}
+		if o.finishedAt > g.last {
+			g.last = o.finishedAt
+		}
+		g.completed++
+	}
+	rows := map[string]*ModelSummary{}
+	names := []string{}
+	for _, k := range order {
+		g := graphs[k]
+		row := rows[g.model]
+		if row == nil {
+			row = &ModelSummary{Model: g.model}
+			rows[g.model] = row
+			names = append(names, g.model)
+		}
+		row.Graphs++
+		row.StagesCompleted += g.completed
+		row.StagesCanceled += g.recorded - g.completed
+		if g.completed == g.recorded {
+			row.GraphsCompleted++
+			row.MeanMakespanNS += int64(g.last - g.first)
+		}
+	}
+	for _, o := range outcomes {
+		if o.rec.GraphID == "" || o.deadline == 0 {
+			continue
+		}
+		row := rows[modelName(&o.rec)]
+		if row == nil {
+			continue
+		}
+		if o.finishedAt <= o.deadline {
+			row.SLOAttained++
+		} else {
+			row.SLOMissed++
+		}
+	}
+	sort.Strings(names)
+	out := make([]ModelSummary, 0, len(names))
+	for _, n := range names {
+		row := rows[n]
+		if row.GraphsCompleted > 0 {
+			row.MeanMakespanNS /= int64(row.GraphsCompleted)
+		}
+		out = append(out, *row)
+	}
+	return out
 }
 
 // ntt returns the outcome's normalized turnaround time (turnaround over
@@ -332,8 +466,21 @@ func (s *Summary) RenderText(w io.Writer) {
 		}
 		fmt.Fprintf(w, "\n")
 	}
-	if d := s.Divergence; d.TePrediction+d.StepShortfall+d.Placement+d.SubmitErrors > 0 {
-		fmt.Fprintf(w, "  divergence: te=%d step=%d placement=%d submit=%d\n",
-			d.TePrediction, d.StepShortfall, d.Placement, d.SubmitErrors)
+	for _, m := range s.Models {
+		fmt.Fprintf(w, "  model %-12s graphs=%d completed=%d stages=%d", m.Model, m.Graphs, m.GraphsCompleted, m.StagesCompleted)
+		if m.StagesCanceled > 0 {
+			fmt.Fprintf(w, " canceled=%d", m.StagesCanceled)
+		}
+		if m.SLOAttained+m.SLOMissed > 0 {
+			fmt.Fprintf(w, " slo=%d/%d", m.SLOAttained, m.SLOAttained+m.SLOMissed)
+		}
+		if m.MeanMakespanNS > 0 {
+			fmt.Fprintf(w, " makespan=%v", time.Duration(m.MeanMakespanNS))
+		}
+		fmt.Fprintf(w, "\n")
+	}
+	if d := s.Divergence; d.TePrediction+d.StepShortfall+d.Placement+d.Dependency+d.SubmitErrors > 0 {
+		fmt.Fprintf(w, "  divergence: te=%d step=%d placement=%d dependency=%d submit=%d\n",
+			d.TePrediction, d.StepShortfall, d.Placement, d.Dependency, d.SubmitErrors)
 	}
 }

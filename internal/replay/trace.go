@@ -141,6 +141,17 @@ type Record struct {
 	// keeping pre-SLO traces byte-identical.
 	DeadlineNS int64  `json:"deadline_ns,omitempty"`
 	SLOClass   string `json:"slo_class,omitempty"`
+
+	// Model-graph coordinates: Model is the (folded) model name the serving
+	// daemon accounted this launch under, GraphID the graph instance, Stage
+	// this launch's stage name, and After its declared prerequisites. All
+	// omitted for plain launches, keeping pre-DAG traces byte-identical.
+	// Replay uses them to reproduce per-model aggregation and, in timed
+	// mode, to respect stage ordering.
+	Model   string   `json:"model,omitempty"`
+	GraphID string   `json:"graph_id,omitempty"`
+	Stage   string   `json:"stage,omitempty"`
+	After   []string `json:"after,omitempty"`
 }
 
 // Trace is a loaded trace: header plus records in admission (Seq) order.

@@ -1,0 +1,745 @@
+package server
+
+// deps.go is the dependency-aware half of admission: a bounded
+// pending-dependency table that holds graph stages until their
+// prerequisites complete, releases them into the event loop in
+// completion order, and deterministically cancels descendants when a
+// prerequisite fails or is shed.
+//
+// Accounting contract: a parked stage is NOT enqueued — it enters the
+// exactly-once ledger (Enqueued) only when its prerequisites complete
+// and the loop admits it. A stage canceled while parked therefore never
+// touches Enqueued/Completed/SubmitErrors; it is counted in the
+// dedicated dep_canceled outcome instead, so the ledger's invariant
+// Enqueued == Completed + SubmitErrors still closes at rest.
+//
+// Locking: depMu guards the table and the per-model aggregates. It is
+// never held across a channel send (cancellations are collected under
+// the lock and delivered after release) and never acquired while
+// holding Server.mu; depAdmit nests it inside acceptMu.RLock only, the
+// same way tryEnqueue publishes the draining decision.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"flep/internal/model"
+)
+
+// ErrDepTableFull reports a pending-dependency table at capacity: the
+// stage cannot be parked (and, for a new graph, no stalled graph could
+// be evicted to make room). HTTP 429.
+var ErrDepTableFull = errors.New("server: pending-dependency table full")
+
+// maxDepName bounds client-supplied graph/stage/model identifiers: they
+// are map keys in server memory and fields in the replay trace.
+const maxDepName = 128
+
+// maxModelRows bounds the distinct model names the per-model aggregates
+// track; the overflow folds into one synthetic row so a client cycling
+// model names cannot grow server memory or metric output without limit.
+const maxModelRows = 64
+
+// modelOverflow is the fold target once maxModelRows distinct model
+// names exist.
+const modelOverflow = "~other"
+
+type depKey struct {
+	client string
+	graph  string
+}
+
+// depState is a registered stage's lifecycle within the table.
+type depState int
+
+const (
+	// depParked: waiting in the table for prerequisites.
+	depParked depState = iota
+	// depLive: admitted toward the runtime (in the queue or executing).
+	depLive
+	// depDone: completed.
+	depDone
+	// depFailed: reached admission but was rejected (shed, queue full,
+	// draining, or a runtime submit error). Fails the graph.
+	depFailed
+	// depCanceled: never admitted — a prerequisite failed, or the daemon
+	// drained away the parked stage.
+	depCanceled
+)
+
+type depStage struct {
+	state depState
+	after []string
+	q     *launchReq // non-nil only while parked
+}
+
+// depGraph is one live graph instance. Guarded by Server.depMu; deleted
+// from the table the moment every declared stage is terminal (its
+// accounting then lives on in the per-model aggregates).
+type depGraph struct {
+	client   string
+	id       string
+	model    string // folded model name (see foldModelLocked)
+	declared int    // stage count the client committed to
+	seq      int64  // arrival order, the eviction tie-break
+
+	stages map[string]*depStage
+	order  []string // registration order: the deterministic iteration path
+
+	parked   int  // stages in depParked
+	inflight int  // stages in depLive
+	terminal int  // stages in depDone/depFailed/depCanceled
+	done     int  // stages in depDone
+	failed   bool // a stage failed or was canceled; the graph cannot complete
+
+	// Virtual-time bounds over completed stages: the graph's makespan is
+	// lastFinish − firstSubmit once all stages are done.
+	firstSubmitNS int64
+	lastFinishNS  int64
+}
+
+// modelStats aggregates per-model accounting across graph instances.
+// Guarded by Server.depMu; incremented at the same sites as the
+// flep_model_* counters, so metrics reconcile exactly with the
+// /v1/status models block.
+type modelStats struct {
+	graphsStarted   int64
+	graphsCompleted int64
+	graphsCanceled  int64
+	stagesCompleted int64
+	stagesCanceled  int64
+	sloAttained     int64
+	sloMissed       int64
+	makespanSumNS   int64
+}
+
+// depVerdict is depAdmit's decision for one graph-bearing launch.
+type depVerdict int
+
+const (
+	// depReady: every prerequisite already completed; admit through the
+	// normal bounded queue.
+	depReady depVerdict = iota
+	// depParkStage: held in the table; the handler waits on q.done.
+	depParkStage
+	// depCancelStage: a prerequisite already failed; never admitted.
+	depCancelStage
+	// depRejectFull: table at capacity (HTTP 429).
+	depRejectFull
+	// depRejectInvalid: the spec contradicts the graph (HTTP 400).
+	depRejectInvalid
+	// depRejectDraining: daemon shutting down (HTTP 503).
+	depRejectDraining
+)
+
+// validateDepSpec checks the request's graph spec shape before any
+// table state is touched. A request with no graph fields passes.
+func validateDepSpec(req *LaunchRequest) error {
+	if req.Graph == "" && req.Stage == "" && len(req.After) == 0 && req.Stages == 0 && req.Model == "" {
+		return nil
+	}
+	if req.Graph == "" || req.Stage == "" {
+		return fmt.Errorf("graph stages require both graph and stage")
+	}
+	if len(req.Graph) > maxDepName || len(req.Stage) > maxDepName || len(req.Model) > maxDepName {
+		return fmt.Errorf("graph, stage and model names are limited to %d bytes", maxDepName)
+	}
+	if req.Stages < 1 || req.Stages > model.MaxStages {
+		return fmt.Errorf("stages must declare the graph's total stage count (1..%d)", model.MaxStages)
+	}
+	if len(req.After) > model.MaxAfter {
+		return fmt.Errorf("after lists %d prerequisites (max %d)", len(req.After), model.MaxAfter)
+	}
+	if len(req.After) >= req.Stages {
+		return fmt.Errorf("stage %q lists %d prerequisites but the graph declares only %d stages",
+			req.Stage, len(req.After), req.Stages)
+	}
+	seen := map[string]bool{}
+	for _, dep := range req.After {
+		if dep == "" || len(dep) > maxDepName {
+			return fmt.Errorf("after entries must be non-empty stage names of at most %d bytes", maxDepName)
+		}
+		if dep == req.Stage {
+			return fmt.Errorf("stage %q depends on itself", req.Stage)
+		}
+		if seen[dep] {
+			return fmt.Errorf("stage %q lists prerequisite %q twice", req.Stage, dep)
+		}
+		seen[dep] = true
+	}
+	return nil
+}
+
+// depAdmit registers a graph-bearing launch in the table and decides
+// its path: ready (admit through the queue now), parked (wait for
+// prerequisites), canceled (a prerequisite already failed), or rejected
+// (invalid spec / table full / draining). The acceptMu read lock pairs
+// with Shutdown's write lock exactly like tryEnqueue: once draining is
+// set, no new stage can slip into the table behind the loop's final
+// parked-stage sweep.
+func (s *Server) depAdmit(q *launchReq) (depVerdict, error) {
+	s.acceptMu.RLock()
+	defer s.acceptMu.RUnlock()
+	if s.draining {
+		return depRejectDraining, ErrDraining
+	}
+	s.depMu.Lock()
+	defer s.depMu.Unlock()
+
+	key := depKey{q.client, q.graph}
+	g := s.depGraphs[key]
+	if g != nil {
+		if q.stages != g.declared {
+			return depRejectInvalid, fmt.Errorf("stage %q declares %d stages but graph %q was opened with %d",
+				q.stage, q.stages, q.graph, g.declared)
+		}
+		if g.stages[q.stage] != nil {
+			return depRejectInvalid, fmt.Errorf("graph %q already has a stage %q", q.graph, q.stage)
+		}
+		if len(g.stages) >= g.declared {
+			return depRejectInvalid, fmt.Errorf("graph %q already has all %d declared stages", q.graph, g.declared)
+		}
+		if cyc := g.cycleThroughLocked(q.stage, q.after); cyc != "" {
+			return depRejectInvalid, fmt.Errorf("stage %q would close a dependency cycle through %q", q.stage, cyc)
+		}
+	}
+
+	// A prerequisite may name a stage that has not arrived yet — but only
+	// if the declared stage count leaves room for it to ever arrive.
+	// Rejecting impossible references here keeps the promise that no
+	// stage is parked on a dependency that cannot exist.
+	registered := 0
+	if g != nil {
+		registered = len(g.stages)
+	}
+	unknown := 0
+	firstUnknown := ""
+	for _, dep := range q.after {
+		if g == nil || g.stages[dep] == nil {
+			unknown++
+			if firstUnknown == "" {
+				firstUnknown = dep
+			}
+		}
+	}
+	if unknown > q.stages-(registered+1) {
+		return depRejectInvalid, fmt.Errorf("prerequisite %q can never exist: graph %q has no undeclared stage slots left",
+			firstUnknown, q.graph)
+	}
+
+	// Classify the stage from its prerequisites' current states.
+	anyBad, allDone := false, true
+	badDep := ""
+	for _, dep := range q.after {
+		var p *depStage
+		if g != nil {
+			p = g.stages[dep]
+		}
+		switch {
+		case p == nil:
+			allDone = false
+		case p.state == depDone:
+		case p.state == depFailed || p.state == depCanceled:
+			anyBad = true
+			if badDep == "" {
+				badDep = dep
+			}
+		default:
+			allDone = false
+		}
+	}
+
+	wouldPark := !anyBad && !allDone
+	if wouldPark && s.depParked >= s.cfg.DepPending {
+		return depRejectFull, ErrDepTableFull
+	}
+	if g == nil {
+		if len(s.depGraphs) >= s.cfg.DepGraphs && !s.depEvictStalledLocked() {
+			return depRejectFull, ErrDepTableFull
+		}
+		g = &depGraph{
+			client:   q.client,
+			id:       q.graph,
+			model:    s.foldModelLocked(q.model),
+			declared: q.stages,
+			seq:      s.depSeq,
+			stages:   map[string]*depStage{},
+		}
+		s.depSeq++
+		s.depGraphs[key] = g
+		ms := s.modelStatsLocked(g.model)
+		ms.graphsStarted++
+		s.met.ModelGraphsStarted.Inc()
+	}
+	// The folded model name is what recording and accounting share, so a
+	// replayed trace aggregates under exactly the live rows.
+	q.model = g.model
+
+	st := &depStage{after: q.after}
+	g.stages[q.stage] = st
+	g.order = append(g.order, q.stage)
+
+	switch {
+	case anyBad:
+		st.state = depCanceled
+		g.terminal++
+		g.failed = true
+		ms := s.modelStatsLocked(g.model)
+		ms.stagesCanceled++
+		s.met.ModelStagesCanceled.Inc()
+		s.depCloseIfDoneLocked(g)
+		return depCancelStage, fmt.Errorf("canceled: prerequisite %q of stage %q did not complete", badDep, q.stage)
+	case allDone:
+		st.state = depLive
+		g.inflight++
+		return depReady, nil
+	default:
+		st.state = depParked
+		st.q = q
+		g.parked++
+		s.depParked++
+		s.met.ModelStagesParked.Inc()
+		return depParkStage, nil
+	}
+}
+
+// cycleThroughLocked reports (by returning the reached stage name)
+// whether adding a stage with the given prerequisites would close a
+// dependency cycle: an already-registered chain leading from one of the
+// new stage's prerequisites back to the new stage itself. Callers hold
+// depMu.
+func (g *depGraph) cycleThroughLocked(stage string, after []string) string {
+	visited := map[string]bool{}
+	stack := append([]string(nil), after...)
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if n == stage {
+			return n
+		}
+		if visited[n] {
+			continue
+		}
+		visited[n] = true
+		if p := g.stages[n]; p != nil {
+			stack = append(stack, p.after...)
+		}
+	}
+	return ""
+}
+
+// foldModelLocked resolves the accounting row for a model name: the
+// name itself while the distinct-row budget lasts, the overflow row
+// afterwards. Empty means the client sent bare graph coordinates;
+// "default" keeps those visible without a per-graph row. Callers hold
+// depMu.
+func (s *Server) foldModelLocked(name string) string {
+	if name == "" {
+		name = "default"
+	}
+	if _, ok := s.models[name]; ok {
+		return name
+	}
+	if len(s.models) >= maxModelRows {
+		return modelOverflow
+	}
+	return name
+}
+
+// modelStatsLocked returns the model's aggregate row, creating it on
+// first use. Callers hold depMu and must pass a folded name.
+func (s *Server) modelStatsLocked(name string) *modelStats {
+	ms := s.models[name]
+	if ms == nil {
+		ms = &modelStats{}
+		s.models[name] = ms
+	}
+	return ms
+}
+
+// depEvictStalledLocked frees one graph slot by evicting the oldest
+// stalled graph: no parked stages, nothing in flight, and not yet
+// complete — the shape left behind by a client that stopped submitting
+// mid-graph. Returns false when every tracked graph is still active.
+// Callers hold depMu.
+func (s *Server) depEvictStalledLocked() bool {
+	var victim *depGraph
+	for _, g := range s.depGraphs {
+		if g.parked > 0 || g.inflight > 0 {
+			continue
+		}
+		if victim == nil || g.seq < victim.seq {
+			victim = g
+		}
+	}
+	if victim == nil {
+		return false
+	}
+	ms := s.modelStatsLocked(victim.model)
+	ms.graphsCanceled++
+	s.met.ModelGraphsCanceled.Inc()
+	s.met.ModelEvictions.Inc()
+	delete(s.depGraphs, depKey{victim.client, victim.id})
+	return true
+}
+
+// depStageDone folds a completed stage into its graph and collects the
+// parked dependents it unblocks into s.depReady, which the loop drains
+// right after its arrival batch. Runs only on the loop goroutine (from
+// complete), so appending to the loop-owned depReady slice is safe.
+func (s *Server) depStageDone(q *launchReq, res *LaunchResult) {
+	//flepvet:allow sharedlock -- bounded table update; handlers hold depMu only for bounded map edits, never block
+	s.depMu.Lock()
+	defer s.depMu.Unlock()
+	g := s.depGraphs[depKey{q.client, q.graph}]
+	if g == nil {
+		return
+	}
+	st := g.stages[q.stage]
+	if st == nil || st.state != depLive {
+		return
+	}
+	st.state = depDone
+	g.inflight--
+	g.terminal++
+	g.done++
+	if g.done == 1 || res.SubmittedVirtualNS < g.firstSubmitNS {
+		g.firstSubmitNS = res.SubmittedVirtualNS
+	}
+	if res.FinishedVirtualNS > g.lastFinishNS {
+		g.lastFinishNS = res.FinishedVirtualNS
+	}
+	ms := s.modelStatsLocked(g.model)
+	ms.stagesCompleted++
+	s.met.ModelStagesCompleted.Inc()
+	switch res.SLO {
+	case "attained":
+		ms.sloAttained++
+		s.met.ModelSLOAttained.Inc()
+	case "missed":
+		ms.sloMissed++
+		s.met.ModelSLOMissed.Inc()
+	}
+	// Release every parked dependent whose prerequisites are now all
+	// done, in registration order — the deterministic path through the
+	// DAG, so a replayed trace sees the same release sequence.
+	for _, name := range g.order {
+		d := g.stages[name]
+		if d.state != depParked {
+			continue
+		}
+		ready := true
+		for _, dep := range d.after {
+			p := g.stages[dep]
+			if p == nil || p.state != depDone {
+				ready = false
+				break
+			}
+		}
+		if !ready {
+			continue
+		}
+		rq := d.q
+		d.q = nil
+		d.state = depLive
+		g.parked--
+		s.depParked--
+		g.inflight++
+		s.met.ModelStagesReleased.Inc()
+		s.depReady = append(s.depReady, rq)
+	}
+	s.depCloseIfDoneLocked(g)
+}
+
+// depStageFailed marks a stage that reached admission but was rejected
+// (shed, queue full, draining, or a runtime submit error) and cascades
+// cancellation to its parked descendants. Safe from any goroutine; the
+// collected cancels are delivered after depMu is released.
+func (s *Server) depStageFailed(q *launchReq) {
+	//flepvet:allow sharedlock -- bounded table update; handlers hold depMu only for bounded map edits, never block
+	s.depMu.Lock()
+	g := s.depGraphs[depKey{q.client, q.graph}]
+	if g == nil {
+		s.depMu.Unlock()
+		return
+	}
+	st := g.stages[q.stage]
+	if st == nil || st.state != depLive {
+		s.depMu.Unlock()
+		return
+	}
+	st.state = depFailed
+	g.inflight--
+	g.terminal++
+	g.failed = true
+	ms := s.modelStatsLocked(g.model)
+	ms.stagesCanceled++
+	s.met.ModelStagesCanceled.Inc()
+	cancels := s.depCascadeLocked(g)
+	s.depCloseIfDoneLocked(g)
+	s.depMu.Unlock()
+	s.deliverDepCancels(cancels, fmt.Sprintf("prerequisite %q failed", q.stage))
+}
+
+// depCascadeLocked cancels every parked stage that transitively depends
+// on a failed or canceled stage, returning their requests for delivery
+// outside the lock. Passes over the registration-order slice repeat
+// until a fixpoint, so deep chains cancel in one call regardless of
+// declaration order. Callers hold depMu.
+func (s *Server) depCascadeLocked(g *depGraph) []*launchReq {
+	var cancels []*launchReq
+	for changed := true; changed; {
+		changed = false
+		for _, name := range g.order {
+			d := g.stages[name]
+			if d.state != depParked {
+				continue
+			}
+			doomed := false
+			for _, dep := range d.after {
+				if p := g.stages[dep]; p != nil && (p.state == depFailed || p.state == depCanceled) {
+					doomed = true
+					break
+				}
+			}
+			if !doomed {
+				continue
+			}
+			cancels = append(cancels, d.q)
+			d.q = nil
+			d.state = depCanceled
+			g.parked--
+			s.depParked--
+			g.terminal++
+			ms := s.modelStatsLocked(g.model)
+			ms.stagesCanceled++
+			s.met.ModelStagesCanceled.Inc()
+			changed = true
+		}
+	}
+	return cancels
+}
+
+// depCloseIfDoneLocked retires a graph whose declared stages are all
+// terminal: its outcome folds into the per-model aggregates and the
+// table entry is deleted, so the table only ever holds live graphs.
+// Callers hold depMu.
+func (s *Server) depCloseIfDoneLocked(g *depGraph) {
+	if g.terminal < g.declared {
+		return
+	}
+	ms := s.modelStatsLocked(g.model)
+	if g.failed || g.done < g.declared {
+		ms.graphsCanceled++
+		s.met.ModelGraphsCanceled.Inc()
+	} else {
+		ms.graphsCompleted++
+		s.met.ModelGraphsCompleted.Inc()
+		ms.makespanSumNS += g.lastFinishNS - g.firstSubmitNS
+	}
+	delete(s.depGraphs, depKey{g.client, g.id})
+}
+
+// deliverDepCancels accounts and answers canceled parked stages. Each
+// request sees exactly one terminal event: the canceling goroutine
+// removed it from the table under depMu, so it holds exclusive
+// ownership here.
+func (s *Server) deliverDepCancels(cancels []*launchReq, reason string) {
+	for _, cq := range cancels {
+		s.met.DepCanceled.Inc()
+		//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
+		s.mu.Lock()
+		s.c.DepCanceled++
+		if sess := s.sessions[cq.client]; sess != nil {
+			sess.DepCanceled++
+		}
+		s.mu.Unlock()
+		//flepvet:allow blockingsend -- cq.done is per-request with capacity 1 (http.go) and sees exactly one send
+		cq.done <- LaunchResult{
+			Client: cq.client, Kernel: cq.bench.Name, Class: cq.class.String(),
+			Priority: cq.priority, Device: s.cfg.Device, Canceled: reason,
+		}
+	}
+}
+
+// depDrainCancel sweeps the table at drain time: with the engine idle
+// and the queue empty, no parked stage's prerequisites can ever
+// complete, so every remaining graph is canceled deterministically
+// instead of leaving handlers to time out. Runs on the loop goroutine
+// just before it exits.
+func (s *Server) depDrainCancel() {
+	var cancels []*launchReq
+	//flepvet:allow sharedlock -- bounded table sweep at loop exit; handlers hold depMu only for bounded map edits
+	s.depMu.Lock()
+	graphs := make([]*depGraph, 0, len(s.depGraphs))
+	for _, g := range s.depGraphs {
+		graphs = append(graphs, g)
+	}
+	sort.Slice(graphs, func(i, j int) bool { return graphs[i].seq < graphs[j].seq })
+	for _, g := range graphs {
+		for _, name := range g.order {
+			d := g.stages[name]
+			if d.state != depParked {
+				continue
+			}
+			cancels = append(cancels, d.q)
+			d.q = nil
+			d.state = depCanceled
+			g.parked--
+			s.depParked--
+			g.terminal++
+			ms := s.modelStatsLocked(g.model)
+			ms.stagesCanceled++
+			s.met.ModelStagesCanceled.Inc()
+		}
+		ms := s.modelStatsLocked(g.model)
+		ms.graphsCanceled++
+		s.met.ModelGraphsCanceled.Inc()
+		delete(s.depGraphs, depKey{g.client, g.id})
+	}
+	s.depMu.Unlock()
+	s.deliverDepCancels(cancels, "daemon draining")
+}
+
+// admitReleased enqueues every stage the last simulation step unblocked.
+// Released stages bypass the bounded submit channel — their population
+// is bounded by the table itself — and enter the exactly-once ledger
+// here, at the moment they become real work. Runs on the loop
+// goroutine, after admitAll.
+func (s *Server) admitReleased() {
+	if len(s.depReady) == 0 {
+		return
+	}
+	now := time.Now()
+	for i := 0; i < len(s.depReady); i++ {
+		q := s.depReady[i]
+		s.depReady[i] = nil
+		s.met.Enqueued.Inc()
+		//flepvet:allow sharedlock -- bounded counter bump; handlers only copy under s.mu, never block
+		s.mu.Lock()
+		s.c.Enqueued++
+		s.session(q.client).Launches++
+		s.mu.Unlock()
+		s.queued.Add(1) // admit releases the reservation
+		if q.deadline > 0 {
+			s.lcOutstanding.Add(1)
+		}
+		q.admitReal = now
+		s.admit(q)
+	}
+	s.depReady = s.depReady[:0]
+}
+
+// ModelStatus is one model's row in the /v1/status models block. Counts
+// reconcile exactly with the flep_model_* metric families: both are
+// incremented at the same depMu-guarded sites.
+type ModelStatus struct {
+	Model           string  `json:"model"`
+	GraphsStarted   int64   `json:"graphs_started"`
+	GraphsCompleted int64   `json:"graphs_completed"`
+	GraphsCanceled  int64   `json:"graphs_canceled"`
+	StagesCompleted int64   `json:"stages_completed"`
+	StagesCanceled  int64   `json:"stages_canceled"`
+	StagesParked    int64   `json:"stages_parked"`
+	SLOAttained     int64   `json:"slo_attained"`
+	SLOMissed       int64   `json:"slo_missed"`
+	AttainRate      float64 `json:"attain_rate,omitempty"`
+	MeanMakespanUS  float64 `json:"mean_makespan_us,omitempty"`
+}
+
+// modelStatuses snapshots the per-model aggregates, sorted by name.
+func (s *Server) modelStatuses() []ModelStatus {
+	s.depMu.Lock()
+	defer s.depMu.Unlock()
+	if len(s.models) == 0 {
+		return nil
+	}
+	parked := map[string]int64{}
+	for _, g := range s.depGraphs {
+		parked[g.model] += int64(g.parked)
+	}
+	names := make([]string, 0, len(s.models))
+	for name := range s.models {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]ModelStatus, 0, len(names))
+	for _, name := range names {
+		ms := s.models[name]
+		row := ModelStatus{
+			Model:           name,
+			GraphsStarted:   ms.graphsStarted,
+			GraphsCompleted: ms.graphsCompleted,
+			GraphsCanceled:  ms.graphsCanceled,
+			StagesCompleted: ms.stagesCompleted,
+			StagesCanceled:  ms.stagesCanceled,
+			StagesParked:    parked[name],
+			SLOAttained:     ms.sloAttained,
+			SLOMissed:       ms.sloMissed,
+		}
+		if n := ms.sloAttained + ms.sloMissed; n > 0 {
+			row.AttainRate = float64(ms.sloAttained) / float64(n)
+		}
+		if ms.graphsCompleted > 0 {
+			row.MeanMakespanUS = float64(ms.makespanSumNS) / float64(ms.graphsCompleted) / 1e3
+		}
+		out = append(out, row)
+	}
+	return out
+}
+
+// depParkedCount reports how many stages are held in the table (the
+// flep_model_stages_held gauge).
+func (s *Server) depParkedCount() int {
+	s.depMu.Lock()
+	defer s.depMu.Unlock()
+	return s.depParked
+}
+
+// depGraphCount reports how many live graphs the table tracks (the
+// flep_model_graphs_tracked gauge).
+func (s *Server) depGraphCount() int {
+	s.depMu.Lock()
+	defer s.depMu.Unlock()
+	return len(s.depGraphs)
+}
+
+// mergeModelRows folds one shard's model rows into a fleet aggregate
+// keyed by model name, re-weighting the derived means by the counts
+// that produced them.
+func mergeModelRows(agg, rows []ModelStatus) []ModelStatus {
+	if len(rows) == 0 {
+		return agg
+	}
+	byName := map[string]int{}
+	for i := range agg {
+		byName[agg[i].Model] = i
+	}
+	for _, r := range rows {
+		i, ok := byName[r.Model]
+		if !ok {
+			byName[r.Model] = len(agg)
+			agg = append(agg, r)
+			continue
+		}
+		m := &agg[i]
+		if n0, n1 := m.GraphsCompleted, r.GraphsCompleted; n0+n1 > 0 {
+			m.MeanMakespanUS = (m.MeanMakespanUS*float64(n0) + r.MeanMakespanUS*float64(n1)) / float64(n0+n1)
+		}
+		m.GraphsStarted += r.GraphsStarted
+		m.GraphsCompleted += r.GraphsCompleted
+		m.GraphsCanceled += r.GraphsCanceled
+		m.StagesCompleted += r.StagesCompleted
+		m.StagesCanceled += r.StagesCanceled
+		m.StagesParked += r.StagesParked
+		m.SLOAttained += r.SLOAttained
+		m.SLOMissed += r.SLOMissed
+		if n := m.SLOAttained + m.SLOMissed; n > 0 {
+			m.AttainRate = float64(m.SLOAttained) / float64(n)
+		}
+	}
+	sort.Slice(agg, func(i, j int) bool { return agg[i].Model < agg[j].Model })
+	return agg
+}

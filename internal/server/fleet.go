@@ -180,8 +180,12 @@ func (f *Fleet) pickShard(req LaunchRequest) int {
 }
 
 // route places one launch, honoring session affinity when enabled.
+// Graph-bearing requests always pin through the affinity table, even
+// when affinity is off: the pending-dependency state of a client's
+// graphs lives on one shard, so every stage of every graph the client
+// submits must land there or prerequisites would never be observed.
 func (f *Fleet) route(req LaunchRequest, client string) *Server {
-	if !f.cfg.Affinity {
+	if !f.cfg.Affinity && req.Graph == "" {
 		return f.shards[f.pickShard(req)]
 	}
 	f.mu.Lock()
@@ -264,6 +268,8 @@ func addCounters(agg *counters, c counters) {
 	agg.Canceled += c.Canceled
 	agg.SLOAttained += c.SLOAttained
 	agg.SLOMissed += c.SLOMissed
+	agg.DepCanceled += c.DepCanceled
+	agg.RejectedDepFull += c.RejectedDepFull
 }
 
 // Status aggregates the shards: summed counters and queue figures at the
@@ -284,6 +290,7 @@ func (f *Fleet) Status() Status {
 	}
 	for _, d := range devs {
 		addCounters(&agg.Counters, d.Counters)
+		agg.Models = mergeModelRows(agg.Models, d.Models)
 		// Re-derive the fleet's mean SLO margin from completion-weighted
 		// shard means before the counts change.
 		if n0, n1 := agg.SLO.Attained+agg.SLO.Missed, d.SLO.Attained+d.SLO.Missed; n0+n1 > 0 {
@@ -348,6 +355,8 @@ func (f *Fleet) SessionSnapshots() []SessionSnapshot {
 			m.RejectedShed += snap.RejectedShed
 			m.TimedOut += snap.TimedOut
 			m.Canceled += snap.Canceled
+			m.DepCanceled += snap.DepCanceled
+			m.RejectedDepFull += snap.RejectedDepFull
 			m.SLOAttained += snap.SLOAttained
 			m.SLOMissed += snap.SLOMissed
 			m.Preemptions += snap.Preemptions

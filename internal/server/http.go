@@ -49,6 +49,22 @@ type LaunchRequest struct {
 	// the queue crowds past the cost-aware share while deadline-bearing
 	// work is outstanding.
 	SLOClass string `json:"slo_class,omitempty"`
+	// Graph coordinates turn this launch into one stage of a DAG-shaped
+	// model workload (see internal/model and deps.go). Graph is the
+	// client-chosen instance id (scoped per client), Stage this launch's
+	// name within it, After the stage names that must complete before it
+	// is admitted, and Stages the graph's declared total stage count
+	// (required, consistent across the instance — it is how the daemon
+	// knows when the graph is finished). A stage whose prerequisites are
+	// outstanding is parked in a bounded pending-dependency table; a
+	// failed or shed prerequisite cancels it with 409.
+	Graph  string   `json:"graph,omitempty"`
+	Stage  string   `json:"stage,omitempty"`
+	After  []string `json:"after,omitempty"`
+	Stages int      `json:"stages,omitempty"`
+	// Model names the workload the graph instance aggregates under in
+	// per-model accounting (default "default").
+	Model string `json:"model,omitempty"`
 }
 
 // Status is the JSON body of GET /v1/status. On a fleet daemon the
@@ -67,15 +83,19 @@ type Status struct {
 	// MemoryFreeBytes is the unreserved simulated device memory (summed
 	// across shards on a fleet): the placement signal a cluster gateway
 	// reads from this snapshot.
-	MemoryFreeBytes int64    `json:"memory_free_bytes"`
-	Paused          bool     `json:"paused"`
-	Draining        bool     `json:"draining"`
-	Sessions        int      `json:"sessions"`
-	Counters        counters `json:"counters"`
-	TraceEntries    int      `json:"trace_entries,omitempty"`
-	TraceDropped    int      `json:"trace_dropped,omitempty"`
-	ExactlyOnceOK   bool     `json:"exactly_once_ok"`
+	MemoryFreeBytes int64     `json:"memory_free_bytes"`
+	Paused          bool      `json:"paused"`
+	Draining        bool      `json:"draining"`
+	Sessions        int       `json:"sessions"`
+	Counters        counters  `json:"counters"`
+	TraceEntries    int       `json:"trace_entries,omitempty"`
+	TraceDropped    int       `json:"trace_dropped,omitempty"`
+	ExactlyOnceOK   bool      `json:"exactly_once_ok"`
 	SLO             SLOStatus `json:"slo"`
+	// Models is the per-model accounting block (one row per model name
+	// seen in graph-bearing launches); its counts reconcile exactly with
+	// the flep_model_* metric families.
+	Models []ModelStatus `json:"models,omitempty"`
 }
 
 // SLOStatus summarizes the deadline tier: how many deadline-bearing
@@ -208,55 +228,91 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
 		return
 	}
+	if err := validateDepSpec(&req); err != nil {
+		s.countInvalid(client)
+		writeJSON(w, http.StatusBadRequest, apiError{err.Error()})
+		return
+	}
 
 	q := getLaunchReq()
 	q.client, q.bench, q.class = client, bench, class
 	q.priority, q.weight, q.tasksOverride = prio, req.Weight, req.TasksOverride
 	q.deadline = deadline
+	q.graph, q.stage, q.model = req.Graph, req.Stage, req.Model
+	q.after, q.stages = req.After, req.Stages
 	q.enqueuedReal = time.Now()
-	if err := s.tryEnqueue(q); err != nil {
-		putLaunchReq(q) // the loop never saw it; safe to recycle now
-		s.mu.Lock()
-		// Record the reject on the client's session only if one already
-		// exists: a launch that never entered the queue must not
-		// materialize per-client state (it would be an unbounded-memory
-		// vector, and the draining path used to create sessions it then
-		// never even recorded the rejection on).
-		sess := s.sessions[client]
-		switch {
-		case errors.Is(err, ErrQueueFull):
-			s.c.RejectedFull++
-			if sess != nil {
-				sess.RejectedFull++
-			}
-			s.met.RejectedFull.Inc()
-		case errors.Is(err, ErrBestEffortShed):
-			s.c.RejectedShed++
-			if sess != nil {
-				sess.RejectedShed++
-			}
-			s.met.RejectedShed.Inc()
-		default:
+
+	parked := false
+	if q.graph != "" {
+		verdict, derr := s.depAdmit(q)
+		switch verdict {
+		case depRejectInvalid:
+			putLaunchReq(q)
+			s.countInvalid(client)
+			writeJSON(w, http.StatusBadRequest, apiError{derr.Error()})
+			return
+		case depRejectDraining:
+			putLaunchReq(q)
+			s.met.RejectedDraining.Inc()
+			s.mu.Lock()
 			s.c.RejectedDraining++
-			if sess != nil {
+			if sess := s.sessions[client]; sess != nil {
 				sess.RejectedDraining++
 			}
-			s.met.RejectedDraining.Inc()
-		}
-		s.mu.Unlock()
-		if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBestEffortShed) {
+			s.mu.Unlock()
+			writeJSON(w, http.StatusServiceUnavailable, apiError{derr.Error()})
+			return
+		case depRejectFull:
+			putLaunchReq(q)
+			s.met.RejectedDepFull.Inc()
+			s.mu.Lock()
+			s.c.RejectedDepFull++
+			if sess := s.sessions[client]; sess != nil {
+				sess.RejectedDepFull++
+			}
+			s.mu.Unlock()
 			w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
-			writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
-		} else {
-			writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
+			writeJSON(w, http.StatusTooManyRequests, apiError{derr.Error()})
+			return
+		case depCancelStage:
+			// The stage is registered (and counted) as canceled; it never
+			// becomes queue work, so it stays outside the Enqueued ledger.
+			putLaunchReq(q)
+			s.met.DepCanceled.Inc()
+			s.mu.Lock()
+			s.c.DepCanceled++
+			if sess := s.sessions[client]; sess != nil {
+				sess.DepCanceled++
+			}
+			s.mu.Unlock()
+			writeJSON(w, http.StatusConflict, apiError{derr.Error()})
+			return
+		case depParkStage:
+			// Parked: the table owns q until a completion releases it or a
+			// cascade cancels it; this handler just waits on q.done. The
+			// session is materialized — a parked stage passed validation and
+			// occupies a bounded table slot, so it is accepted work.
+			parked = true
+			s.mu.Lock()
+			s.session(client)
+			s.mu.Unlock()
+		case depReady:
+			// Prerequisites already complete: admit through the normal
+			// bounded queue below.
 		}
-		return
 	}
-	s.met.Enqueued.Inc()
-	s.mu.Lock()
-	s.c.Enqueued++
-	s.session(client).Launches++
-	s.mu.Unlock()
+
+	if !parked {
+		if err := s.tryEnqueue(q); err != nil {
+			s.rejectLaunch(w, q, client, err)
+			return
+		}
+		s.met.Enqueued.Inc()
+		s.mu.Lock()
+		s.c.Enqueued++
+		s.session(client).Launches++
+		s.mu.Unlock()
+	}
 
 	timeout := s.cfg.RequestTimeout
 	if req.TimeoutMS > 0 {
@@ -272,6 +328,10 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		// The terminal result arrived, so the loop is finished with q and
 		// this handler holds exclusive ownership again (res is a copy).
 		putLaunchReq(q)
+		if res.Canceled != "" {
+			writeJSON(w, http.StatusConflict, &res)
+			return
+		}
 		if res.Err != "" {
 			writeJSON(w, http.StatusUnprocessableEntity, &res)
 			return
@@ -279,10 +339,10 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		writeJSON(w, http.StatusOK, &res)
 	case <-timer.C:
 		// q is deliberately NOT recycled on the timeout and cancel paths:
-		// the loop still owns it until the buffered terminal send lands,
-		// after which nothing references it and it is garbage collected.
-		// The invocation is NOT lost: the loop finishes and accounts it;
-		// only this handler stops waiting.
+		// the loop (or the dependency table) still owns it until the
+		// buffered terminal send lands, after which nothing references it
+		// and it is garbage collected. The invocation is NOT lost: the loop
+		// finishes and accounts it; only this handler stops waiting.
 		s.met.TimedOut.Inc()
 		s.mu.Lock()
 		s.c.TimedOut++
@@ -299,6 +359,51 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		s.c.Canceled++
 		s.session(client).Canceled++
 		s.mu.Unlock()
+	}
+}
+
+// rejectLaunch accounts a tryEnqueue failure and answers the client.
+// For graph stages the failure also dooms the stage's descendants: the
+// cascade runs before q is recycled, because depStageFailed reads q's
+// graph coordinates.
+func (s *Server) rejectLaunch(w http.ResponseWriter, q *launchReq, client string, err error) {
+	if q.graph != "" {
+		s.depStageFailed(q)
+	}
+	putLaunchReq(q) // the loop never saw it; safe to recycle now
+	s.mu.Lock()
+	// Record the reject on the client's session only if one already
+	// exists: a launch that never entered the queue must not
+	// materialize per-client state (it would be an unbounded-memory
+	// vector, and the draining path used to create sessions it then
+	// never even recorded the rejection on).
+	sess := s.sessions[client]
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		s.c.RejectedFull++
+		if sess != nil {
+			sess.RejectedFull++
+		}
+		s.met.RejectedFull.Inc()
+	case errors.Is(err, ErrBestEffortShed):
+		s.c.RejectedShed++
+		if sess != nil {
+			sess.RejectedShed++
+		}
+		s.met.RejectedShed.Inc()
+	default:
+		s.c.RejectedDraining++
+		if sess != nil {
+			sess.RejectedDraining++
+		}
+		s.met.RejectedDraining.Inc()
+	}
+	s.mu.Unlock()
+	if errors.Is(err, ErrQueueFull) || errors.Is(err, ErrBestEffortShed) {
+		w.Header().Set("Retry-After", strconv.Itoa(s.retryAfter()))
+		writeJSON(w, http.StatusTooManyRequests, apiError{err.Error()})
+	} else {
+		writeJSON(w, http.StatusServiceUnavailable, apiError{err.Error()})
 	}
 }
 
@@ -377,6 +482,9 @@ func (s *Server) statusSnapshot() Status {
 	}
 	s.mu.Unlock()
 	st.Draining = s.Draining()
+	// Models snapshots under depMu, taken after mu is released (depMu is
+	// never acquired while holding mu).
+	st.Models = s.modelStatuses()
 	if s.tlog != nil {
 		st.TraceEntries = s.tlog.Len()
 		st.TraceDropped = s.tlog.Dropped()

@@ -26,6 +26,16 @@ type launchReq struct {
 	// when it stamps the invocation onto the clock.
 	deadline time.Duration
 
+	// Graph coordinates (empty for plain launches): graph is the
+	// client-chosen instance id, stage this launch's name within it,
+	// after its prerequisite stage names, stages the declared total, and
+	// model the workload name the graph aggregates under (see deps.go).
+	graph  string
+	stage  string
+	model  string
+	after  []string
+	stages int
+
 	enqueuedReal time.Time // handler enqueue time
 	admitReal    time.Time // loop admission time (queue-wait metric)
 
@@ -93,6 +103,10 @@ type LaunchResult struct {
 	DeadlineVirtualNS int64  `json:"deadline_virtual_ns,omitempty"`
 	SLO               string `json:"slo,omitempty"`
 	SLOMarginNS       int64  `json:"slo_margin_ns,omitempty"`
+	// Canceled is set when a graph stage was canceled before admission —
+	// a prerequisite failed or the daemon drained while it was parked
+	// (HTTP 409). The stage never entered the exactly-once ledger.
+	Canceled string `json:"canceled,omitempty"`
 	// Err is set when the runtime rejected the invocation (HTTP 422).
 	Err string `json:"error,omitempty"`
 }
@@ -222,6 +236,7 @@ func (s *Server) loop() {
 			}
 		}
 		s.admitAll()
+		s.admitReleased()
 
 		if paused {
 			// Parked: arrivals pile up in submitCh (backpressure) until
@@ -252,7 +267,11 @@ func (s *Server) loop() {
 		}
 
 		// Simulator idle: nothing left to run.
-		if draining && len(s.submitCh) == 0 {
+		if draining && len(s.submitCh) == 0 && len(s.depReady) == 0 {
+			// Parked graph stages can never be released now — the engine is
+			// idle, the queue is empty, and admission is closed — so cancel
+			// them deterministically instead of leaving handlers to time out.
+			s.depDrainCancel()
 			return
 		}
 		select {
@@ -370,6 +389,7 @@ func (s *Server) admit(q *launchReq) {
 		// largest benchmark within the K40's 12 GB (§8).
 		WorkingSet: in.Bytes / 8,
 		Te:         te,
+		Dependent:  q.graph != "",
 		OnFinish:   func(fv *flepruntime.Invocation) { s.complete(q, fv) },
 	}
 	if q.deadline > 0 {
@@ -397,6 +417,11 @@ func (s *Server) admit(q *launchReq) {
 			sess.SubmitErrors++
 		}
 		s.mu.Unlock()
+		if q.graph != "" {
+			// A failed stage dooms its descendants: cancel parked dependents
+			// now so the graph's outcome is decided deterministically.
+			s.depStageFailed(q)
+		}
 		//flepvet:allow blockingsend -- q.done is per-request with capacity 1 (http.go) and sees exactly one send
 		q.done <- LaunchResult{
 			Client: q.client, Kernel: q.bench.Name, Class: q.class.String(),
@@ -424,6 +449,10 @@ func (s *Server) admit(q *launchReq) {
 			Te:            int64(te),
 			DeadlineNS:    int64(q.deadline),
 			SLOClass:      recordSLOClass(q.deadline),
+			Model:         q.model,
+			GraphID:       q.graph,
+			Stage:         q.stage,
+			After:         q.after,
 		})
 	}
 	s.vnow.Store(int64(s.eng.Now()))
@@ -508,6 +537,12 @@ func (s *Server) complete(q *launchReq, fv *flepruntime.Invocation) {
 		sess.noteCompletion(res)
 	}
 	s.mu.Unlock()
+	if q.graph != "" {
+		// Fold the stage into its graph and collect newly-unblocked
+		// dependents before the handler learns the result, so a client that
+		// reacts instantly still observes its dependents as released.
+		s.depStageDone(q, &res)
+	}
 	//flepvet:allow blockingsend -- q.done is per-request with capacity 1 (http.go) and sees exactly one send
 	q.done <- res
 }

@@ -28,6 +28,8 @@ type serverMetrics struct {
 	RejectedShed     *obs.Counter
 	TimedOut         *obs.Counter
 	Canceled         *obs.Counter
+	DepCanceled      *obs.Counter
+	RejectedDepFull  *obs.Counter
 
 	// SLO tier: attained/missed partition deadline-bearing completions;
 	// the margin histogram records (deadline − completion) in virtual
@@ -56,6 +58,22 @@ type serverMetrics struct {
 	// daemon-side ANTT, so flepload (and a cluster gateway's per-node
 	// breakdown) can derive ANTT from metrics deltas alone.
 	NTT *obs.Histogram
+
+	// Model-graph accounting (see deps.go). Incremented at the same
+	// depMu-guarded sites as the modelStats aggregates, so the families
+	// reconcile exactly with the /v1/status models block. Labels are
+	// compile-time literals; the per-model-name breakdown lives only in
+	// the bounded JSON models block.
+	ModelGraphsStarted   *obs.Counter
+	ModelGraphsCompleted *obs.Counter
+	ModelGraphsCanceled  *obs.Counter
+	ModelStagesCompleted *obs.Counter
+	ModelStagesCanceled  *obs.Counter
+	ModelStagesParked    *obs.Counter
+	ModelStagesReleased  *obs.Counter
+	ModelEvictions       *obs.Counter
+	ModelSLOAttained     *obs.Counter
+	ModelSLOMissed       *obs.Counter
 }
 
 // newServerMetrics registers the server metric families and the
@@ -75,6 +93,8 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 		RejectedShed:     launch("rejected_best_effort_shed"),
 		TimedOut:         launch("timed_out"),
 		Canceled:         launch("canceled"),
+		DepCanceled:      launch("dep_canceled"),
+		RejectedDepFull:  launch("rejected_dep_table_full"),
 		SLOAttained: reg.Counter("flep_slo_attained_total",
 			"Deadline-bearing launches that finished at or before their virtual-time deadline"),
 		SLOMissed: reg.Counter("flep_slo_missed_total",
@@ -95,6 +115,29 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			"Solo-normalized turnaround per completed invocation (sum/count = ANTT)",
 			[]float64{1, 1.5, 2, 3, 5, 8, 13, 21, 34, 55, 100}),
 	}
+	graphs := func(outcome string) *obs.Counter {
+		return reg.Counter("flep_model_graphs_total",
+			"Model graph instances by outcome", "outcome", outcome) //flepvet:allow metriclabel -- outcome is one of the three compile-time literals below; cardinality is fixed
+	}
+	stages := func(outcome string) *obs.Counter {
+		return reg.Counter("flep_model_stages_total",
+			"Model graph stages by terminal outcome", "outcome", outcome) //flepvet:allow metriclabel -- outcome is one of the two compile-time literals below; cardinality is fixed
+	}
+	m.ModelGraphsStarted = graphs("started")
+	m.ModelGraphsCompleted = graphs("completed")
+	m.ModelGraphsCanceled = graphs("canceled")
+	m.ModelStagesCompleted = stages("completed")
+	m.ModelStagesCanceled = stages("canceled")
+	m.ModelStagesParked = reg.Counter("flep_model_stages_parked_total",
+		"Graph stages held in the pending-dependency table awaiting prerequisites")
+	m.ModelStagesReleased = reg.Counter("flep_model_stages_released_total",
+		"Parked graph stages admitted after their prerequisites completed")
+	m.ModelEvictions = reg.Counter("flep_model_evictions_total",
+		"Stalled graphs evicted from the bounded pending-dependency table")
+	m.ModelSLOAttained = reg.Counter("flep_model_slo_attained_total",
+		"Deadline-bearing graph stages that finished within their budget")
+	m.ModelSLOMissed = reg.Counter("flep_model_slo_missed_total",
+		"Deadline-bearing graph stages that finished past their budget")
 	reg.GaugeFunc("flep_server_queue_depth", "Launch requests waiting in the admission queue",
 		func() float64 { return float64(len(s.submitCh)) })
 	reg.GaugeFunc("flep_slo_lc_outstanding", "Deadline-bearing launches admitted but not yet terminal",
@@ -109,6 +152,10 @@ func newServerMetrics(reg *obs.Registry, s *Server) *serverMetrics {
 			defer s.mu.Unlock()
 			return float64(len(s.sessions))
 		})
+	reg.GaugeFunc("flep_model_stages_held", "Graph stages currently parked in the pending-dependency table",
+		func() float64 { return float64(s.depParkedCount()) })
+	reg.GaugeFunc("flep_model_graphs_tracked", "Live graph instances tracked by the pending-dependency table",
+		func() float64 { return float64(s.depGraphCount()) })
 	reg.GaugeFunc("flep_server_virtual_time_seconds", "The simulation's virtual clock",
 		func() float64 { return s.VirtualNow().Seconds() })
 	reg.GaugeFunc("flep_server_loop_steps", "Simulation events stepped by the event loop",

@@ -57,6 +57,15 @@ type Config struct {
 	// QueueDepth bounds the admission queue; a full queue rejects
 	// launches with 429 + Retry-After (default 256).
 	QueueDepth int
+	// DepPending bounds how many graph stages may sit in the
+	// pending-dependency table awaiting prerequisites; at the cap new
+	// stages that would park are rejected with 429 (default 256).
+	DepPending int
+	// DepGraphs bounds how many graph instances the table tracks at
+	// once. At the cap a new graph evicts the oldest stalled graph (no
+	// parked stages, nothing in flight) or is rejected with 429
+	// (default 256).
+	DepGraphs int
 	// RequestTimeout caps how long a launch handler waits for its result
 	// before answering 504; the invocation itself is never abandoned
 	// (default 30s).
@@ -96,6 +105,12 @@ func (c *Config) applyDefaults() {
 	}
 	if c.QueueDepth <= 0 {
 		c.QueueDepth = 256
+	}
+	if c.DepPending <= 0 {
+		c.DepPending = 256
+	}
+	if c.DepGraphs <= 0 {
+		c.DepGraphs = 256
 	}
 	if c.RequestTimeout <= 0 {
 		c.RequestTimeout = 30 * time.Second
@@ -146,6 +161,13 @@ type counters struct {
 	// subset of Completed) by whether they met their virtual deadline.
 	SLOAttained int64 `json:"slo_attained"`
 	SLOMissed   int64 `json:"slo_missed"`
+	// DepCanceled counts graph stages canceled before admission (a
+	// prerequisite failed, or the daemon drained while they were
+	// parked); they never entered the queue, so they sit outside the
+	// Enqueued ledger by design. RejectedDepFull counts stages bounced
+	// off a full pending-dependency table.
+	DepCanceled     int64 `json:"dep_canceled"`
+	RejectedDepFull int64 `json:"rejected_dep_table_full"`
 }
 
 type soloKey struct {
@@ -210,6 +232,18 @@ type Server struct {
 	// per launch. Only the loop goroutine touches it.
 	batch []*launchReq
 
+	// Pending-dependency table (see deps.go). depMu guards the table and
+	// the per-model aggregates; it is never held across a channel send
+	// and never acquired while holding mu. depReady is loop-owned: only
+	// depStageDone (running on the loop, from complete) appends to it and
+	// only admitReleased drains it.
+	depMu     sync.Mutex
+	depGraphs map[depKey]*depGraph
+	depSeq    int64
+	depParked int
+	models    map[string]*modelStats
+	depReady  []*launchReq
+
 	mu        sync.Mutex
 	startReal time.Time
 	c         counters
@@ -261,6 +295,9 @@ func NewWithSystem(sys *core.System, cfg Config) (*Server, error) {
 		stopCh:   make(chan struct{}),
 		loopDone: make(chan struct{}),
 		sessions: map[string]*Session{},
+
+		depGraphs: map[depKey]*depGraph{},
+		models:    map[string]*modelStats{},
 	}
 	for _, b := range benchs {
 		if sys.Artifacts(b.Name) == nil {
@@ -548,6 +585,8 @@ func (s *Server) Counters() map[string]int64 {
 		"canceled":                  s.c.Canceled,
 		"slo_attained":              s.c.SLOAttained,
 		"slo_missed":                s.c.SLOMissed,
+		"dep_canceled":              s.c.DepCanceled,
+		"rejected_dep_table_full":   s.c.RejectedDepFull,
 	}
 }
 

@@ -24,6 +24,8 @@ type Session struct {
 	RejectedShed     int64 // 429s (best-effort shed by SLO admission)
 	TimedOut         int64 // handlers that gave up waiting (invocation ran on)
 	Canceled         int64 // clients that went away while waiting (invocation ran on)
+	DepCanceled      int64 // graph stages canceled before admission (prerequisite failed / drain)
+	RejectedDepFull  int64 // 429s (pending-dependency table full)
 
 	Preemptions       int64 // realized preemptions across invocations
 	TotalTurnaroundNS int64
@@ -78,7 +80,7 @@ type SessionSnapshot struct {
 	HostState     string `json:"host_state"`
 	// Devices lists the fleet shards this client's launches ran on (empty
 	// on a standalone daemon; one entry under session affinity).
-	Devices      []int   `json:"devices,omitempty"`
+	Devices          []int   `json:"devices,omitempty"`
 	Launches         int64   `json:"launches"`
 	InFlight         int64   `json:"in_flight"`
 	Completed        int64   `json:"completed"`
@@ -89,6 +91,8 @@ type SessionSnapshot struct {
 	RejectedShed     int64   `json:"rejected_best_effort_shed"`
 	TimedOut         int64   `json:"timed_out"`
 	Canceled         int64   `json:"canceled"`
+	DepCanceled      int64   `json:"dep_canceled"`
+	RejectedDepFull  int64   `json:"rejected_dep_table_full"`
 	Preemptions      int64   `json:"preemptions"`
 	MeanTurnUS       float64 `json:"mean_turnaround_us"`
 	MeanWaitUS       float64 `json:"mean_waiting_us"`
@@ -129,6 +133,8 @@ func (s *Server) SessionSnapshots() []SessionSnapshot {
 			RejectedShed:     sess.RejectedShed,
 			TimedOut:         sess.TimedOut,
 			Canceled:         sess.Canceled,
+			DepCanceled:      sess.DepCanceled,
+			RejectedDepFull:  sess.RejectedDepFull,
 			Preemptions:      sess.Preemptions,
 			LastFinishUS:     float64(sess.LastFinishVirtual) / 1e3,
 			SLOAttained:      sess.SLOAttained,

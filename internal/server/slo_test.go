@@ -81,7 +81,7 @@ func TestSLOValidation(t *testing.T) {
 	_, ts := newTestServer(t, Config{})
 	for _, req := range []LaunchRequest{
 		{Benchmark: "VA", DeadlineMS: -5},
-		{Benchmark: "VA", SLOClass: "latency"},                  // latency requires a deadline
+		{Benchmark: "VA", SLOClass: "latency"},                    // latency requires a deadline
 		{Benchmark: "VA", SLOClass: "best_effort", DeadlineMS: 3}, // BE forbids one
 		{Benchmark: "VA", SLOClass: "premium"},
 	} {

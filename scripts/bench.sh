@@ -14,13 +14,23 @@
 # Everything is parameterized by environment:
 #   OUT=BENCH_9.json COMPARE=BENCH_8.json scripts/bench.sh
 #   ADDR, BENCH, CLASS, QUEUE        daemon under test
+#   MODEL                            model-graph specs for flepload -model
+#                                    (e.g. MODEL="resnet:5ms,bert"); BENCH
+#                                    defaults to all preset benches then
 #   SAT_START/FACTOR/WINDOW/WORKERS/STAGES/THRESHOLD   flepload ramp
 #   TOLERANCE (0.10), MIN_SUSTAINED (0 = off)          gate knobs
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${ADDR:-127.0.0.1:7480}"
-BENCH="${BENCH:-VA,MM}"
+MODEL="${MODEL:-}"
+if [ -n "$MODEL" ]; then
+    # Graph stages span more kernels than the scalar default; make sure
+    # the daemon under test loads every preset benchmark.
+    BENCH="${BENCH:-VA,MM,NN,SPMV}"
+else
+    BENCH="${BENCH:-VA,MM}"
+fi
 CLASS="${CLASS:-trivial}"
 QUEUE="${QUEUE:-256}"
 SAT_START="${SAT_START:-500}"
@@ -30,7 +40,14 @@ SAT_WORKERS="${SAT_WORKERS:-64}"
 SAT_STAGES="${SAT_STAGES:-12}"
 SAT_THRESHOLD="${SAT_THRESHOLD:-0.05}"
 OUT="${OUT:-BENCH_8.json}"
-COMPARE="${COMPARE:-auto}"
+if [ -n "$MODEL" ]; then
+    # Graph launches/s are not comparable to the scalar-launch
+    # trajectory; model runs skip the regression gate unless COMPARE
+    # names a model-mode baseline explicitly.
+    COMPARE="${COMPARE:-}"
+else
+    COMPARE="${COMPARE:-auto}"
+fi
 TOLERANCE="${TOLERANCE:-0.10}"
 MIN_SUSTAINED="${MIN_SUSTAINED:-0}"
 
@@ -56,8 +73,13 @@ wait_ready() {
 echo $! >"$WORK/flepd.pid"
 wait_ready "http://$ADDR/healthz"
 curl -s "http://$ADDR/metrics" >"$WORK/before.prom"
+MODEL_ARGS=()
+if [ -n "$MODEL" ]; then
+    MODEL_ARGS=(-model "$MODEL")
+fi
 RAMP_START="$(date +%s.%N)"
 "$WORK/flepload" -addr "http://$ADDR" -saturate -bench "$BENCH" -class "$CLASS" \
+    "${MODEL_ARGS[@]}" \
     -sat-start "$SAT_START" -sat-factor "$SAT_FACTOR" -sat-window "$SAT_WINDOW" \
     -sat-workers "$SAT_WORKERS" -sat-stages "$SAT_STAGES" -sat-threshold "$SAT_THRESHOLD" \
     | tee "$WORK/sat.out"
@@ -73,6 +95,7 @@ work, out, compare = sys.argv[1:4]
 cfg = {
     "mode": "open-loop saturation ramp (flepload -saturate), pace 0",
     "bench": "$BENCH", "class": "$CLASS", "queue_depth": $QUEUE,
+    "model": "$MODEL",
     "ramp": "start $SAT_START/s x$SAT_FACTOR, $SAT_WINDOW windows, "
             "$SAT_WORKERS workers, stop at 429 share > $SAT_THRESHOLD",
 }

@@ -8,8 +8,11 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 ADDR="${ADDR:-127.0.0.1:7459}"
+MADDR="${MADDR:-127.0.0.1:7461}"
 WORK="$(mktemp -d)"
-trap 'kill "$FLEPD_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
+FLEPD_PID=""
+MODEL_PID=""
+trap 'kill "$FLEPD_PID" "$MODEL_PID" 2>/dev/null || true; rm -rf "$WORK"' EXIT
 
 go build -race -o "$WORK/flepd" ./cmd/flepd
 go build -race -o "$WORK/flepload" ./cmd/flepload
@@ -92,4 +95,70 @@ if problems:
     sys.exit("SLO what-if smoke FAILED:\n  " + "\n  ".join(problems))
 print(f"SLO what-if smoke OK: EDF attains {by_policy['edf']['slo_attain_rate']:.1%} "
       f"vs HPF {by_policy['hpf'].get('slo_attain_rate', 0):.1%} on the deadline mix")
+EOF
+
+# Model-graph record → replay: a fresh flepd under EDF records a resnet
+# DAG workload driven by flepload's dependent clients. The replayed
+# per-model counts must match the live daemon's models block, and two
+# replays of the same trace must be byte-identical — the recorded
+# admission order embeds the dependency-release order, so exact-mode
+# replay needs no dependency tracking of its own.
+"$WORK/flepd" -addr "$MADDR" -policy edf -bench VA,MM,NN \
+    -record "$WORK/model.trace" >"$WORK/flepd-model.log" 2>&1 &
+MODEL_PID=$!
+
+for _ in $(seq 150); do
+    curl -sf "http://$MADDR/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+done
+curl -sf "http://$MADDR/healthz" >/dev/null
+
+"$WORK/flepload" -addr "http://$MADDR" -clients 4 -n 3 -model resnet:50ms \
+    -seed 11 | tee "$WORK/flepload-model.out"
+grep -q '^per model:' "$WORK/flepload-model.out"
+curl -s "http://$MADDR/v1/status" >"$WORK/model-live.json"
+
+kill -TERM "$MODEL_PID"
+wait "$MODEL_PID"
+MODEL_PID=""
+
+"$WORK/flepreplay" replay -trace "$WORK/model.trace" -q -json >"$WORK/model-replay.json"
+"$WORK/flepreplay" replay -trace "$WORK/model.trace" -q -json >"$WORK/model-replay-2.json"
+cmp "$WORK/model-replay.json" "$WORK/model-replay-2.json"
+
+python3 - "$WORK/model-live.json" "$WORK/model-replay.json" <<'EOF'
+import json, sys
+live = json.load(open(sys.argv[1]))
+rep = json.load(open(sys.argv[2]))
+lrows = {m["model"]: m for m in live.get("models", [])}
+rrows = {m["model"]: m for m in rep.get("models", [])}
+problems = []
+if "resnet" not in lrows:
+    problems.append(f"live daemon has no resnet models row: {sorted(lrows)}")
+if "resnet" not in rrows:
+    problems.append(f"replay has no resnet models row: {sorted(rrows)}")
+if rep["mode"] != "exact":
+    problems.append(f'model replay mode {rep["mode"]} != exact')
+if any(rep["divergence"].values()):
+    problems.append(f'model replay diverged: {rep["divergence"]}')
+if not problems:
+    lm, rm = lrows["resnet"], rrows["resnet"]
+    for lk, rk in [("graphs_started", "graphs"),
+                   ("graphs_completed", "graphs_completed"),
+                   ("stages_completed", "stages_completed")]:
+        if lm.get(lk, 0) != rm.get(rk, 0):
+            problems.append(f'{lk} live {lm.get(lk, 0)} != replay {rk} {rm.get(rk, 0)}')
+    # A clean light run must not cancel stages on either side.
+    if lm.get("stages_canceled", 0) or rm.get("stages_canceled", 0):
+        problems.append(f'canceled stages: live {lm.get("stages_canceled", 0)} '
+                        f'replay {rm.get("stages_canceled", 0)}, want 0')
+    lslo = lm.get("slo_attained", 0) + lm.get("slo_missed", 0)
+    rslo = rm.get("slo_attained", 0) + rm.get("slo_missed", 0)
+    if lslo != rslo:
+        problems.append(f"slo-tracked terminals live {lslo} != replay {rslo}")
+if problems:
+    sys.exit("model smoke FAILED:\n  " + "\n  ".join(problems))
+rm = rrows["resnet"]
+print(f'model smoke OK: resnet graphs={rm["graphs_completed"]}/{rm["graphs"]} '
+      f'stages={rm["stages_completed"]} replayed byte-identically under edf')
 EOF
