@@ -1,6 +1,8 @@
 // Command flepvet runs the FLEP analyzer suite (internal/lint): the
 // determinism, map-order, loop-purity, lock-discipline, and
-// metric-hygiene contracts, mechanically enforced.
+// metric-hygiene contracts plus the interprocedural dataflow
+// analyzers — pool ownership, lock order, and the exactly-once
+// ledger — mechanically enforced.
 //
 // Two modes share one driver:
 //
@@ -44,6 +46,9 @@ func run(args []string) int {
 	version := fs.String("V", "", "print version and exit (go vet protocol; use -V=full)")
 	checks := fs.String("checks", "", "comma-separated analyzer subset (default: all of "+strings.Join(lint.AnalyzerNames(), ",")+")")
 	dir := fs.String("dir", ".", "directory to resolve package patterns from (standalone mode)")
+	jsonOut := fs.Bool("json", false, "emit findings as a JSON array on stdout (standalone mode)")
+	annotate := fs.Bool("annotate", false, "emit GitHub Actions ::error annotations alongside findings (standalone mode)")
+	baselinePath := fs.String("baseline", "", "committed baseline file; listed findings are tolerated, not failed (standalone mode)")
 	// cmd/go probes vet tools with `-flags`, expecting a JSON array
 	// describing which optional flags the tool accepts; it then passes
 	// only those. The suite needs none, so the answer is empty.
@@ -88,14 +93,58 @@ func run(args []string) int {
 		fmt.Fprintln(os.Stderr, "flepvet:", err)
 		return 1
 	}
-	for _, f := range findings {
-		fmt.Println(f.String())
+
+	// Findings render relative to the resolution dir: the repo root in
+	// the scripted invocations, which is what annotations and baseline
+	// entries must key on.
+	root, err := filepath.Abs(*dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "flepvet:", err)
+		return 1
+	}
+	if *baselinePath != "" {
+		bl, err := lint.LoadBaseline(*baselinePath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "flepvet:", err)
+			return 1
+		}
+		var suppressed []lint.Finding
+		findings, suppressed = bl.Filter(root, findings)
+		if len(suppressed) > 0 {
+			fmt.Fprintf(os.Stderr, "flepvet: %d finding(s) suppressed by baseline %s\n", len(suppressed), *baselinePath)
+		}
+	}
+
+	if *jsonOut {
+		if err := lint.EncodeJSON(os.Stdout, root, findings); err != nil {
+			fmt.Fprintln(os.Stderr, "flepvet:", err)
+			return 1
+		}
+	} else {
+		for _, f := range findings {
+			fmt.Println(f.String())
+		}
+	}
+	if *annotate {
+		for _, f := range findings {
+			fmt.Printf("::error file=%s,line=%d,col=%d,title=flepvet %s/%s::%s\n",
+				lint.RelPath(root, f.Pos.Filename), f.Pos.Line, f.Pos.Column,
+				f.Analyzer, f.Category, escapeAnnotation(f.Message))
+		}
 	}
 	if len(findings) > 0 {
 		fmt.Fprintf(os.Stderr, "flepvet: %d finding(s)\n", len(findings))
 		return 2
 	}
 	return 0
+}
+
+// escapeAnnotation applies the workflow-command data escaping rules.
+func escapeAnnotation(s string) string {
+	s = strings.ReplaceAll(s, "%", "%25")
+	s = strings.ReplaceAll(s, "\r", "%0D")
+	s = strings.ReplaceAll(s, "\n", "%0A")
+	return s
 }
 
 // selfHash fingerprints the running executable for the -V=full line.

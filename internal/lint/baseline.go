@@ -1,0 +1,135 @@
+package lint
+
+// JSON findings encoding and the committed-baseline suppression
+// mechanism behind `flepvet -json` and `-baseline`.
+//
+// A baseline is a committed JSON file listing findings the team has
+// decided to tolerate for now (typically adopted wholesale when a new
+// analyzer lands on a codebase with pre-existing violations). Entries
+// match on the repo-root-relative file path, analyzer, category, and
+// exact message — deliberately NOT on line numbers, so edits elsewhere
+// in a file do not un-suppress its baselined findings. Each entry
+// suppresses at most as many findings as it is listed times, so a
+// second identical violation in the same file still fails the build.
+//
+// The clean-repo policy stays the default: the committed baseline is
+// empty, and new findings are either fixed or //flepvet:allow'd with a
+// reason. The baseline exists for the migration window when a future
+// analyzer lands faster than its findings can be triaged.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// JSONFinding is one diagnostic in machine-readable form.
+type JSONFinding struct {
+	File     string `json:"file"` // repo-root-relative, slash-separated
+	Line     int    `json:"line"`
+	Col      int    `json:"col"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+// toJSON renders findings with paths made relative to root.
+func toJSON(root string, findings []Finding) []JSONFinding {
+	out := make([]JSONFinding, 0, len(findings))
+	for _, f := range findings {
+		out = append(out, JSONFinding{
+			File:     RelPath(root, f.Pos.Filename),
+			Line:     f.Pos.Line,
+			Col:      f.Pos.Column,
+			Analyzer: f.Analyzer,
+			Category: f.Category,
+			Message:  f.Message,
+		})
+	}
+	return out
+}
+
+// EncodeJSON writes findings as an indented JSON array (never null, so
+// consumers can range without a nil check).
+func EncodeJSON(w io.Writer, root string, findings []Finding) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(toJSON(root, findings))
+}
+
+// RelPath renders file relative to root with forward slashes; files
+// outside root (stdlib, module cache) keep their absolute path.
+func RelPath(root, file string) string {
+	if root == "" {
+		return file
+	}
+	rel, err := filepath.Rel(root, file)
+	if err != nil || strings.HasPrefix(rel, "..") {
+		return file
+	}
+	return filepath.ToSlash(rel)
+}
+
+// BaselineEntry identifies one tolerated finding. Line numbers are
+// intentionally absent; see the package comment.
+type BaselineEntry struct {
+	File     string `json:"file"`
+	Analyzer string `json:"analyzer"`
+	Category string `json:"category"`
+	Message  string `json:"message"`
+}
+
+func (e BaselineEntry) key() string {
+	return e.File + "\x00" + e.Analyzer + "\x00" + e.Category + "\x00" + e.Message
+}
+
+// Baseline is the committed suppression set.
+type Baseline struct {
+	Findings []BaselineEntry `json:"findings"`
+}
+
+// LoadBaseline reads and validates a baseline file.
+func LoadBaseline(path string) (*Baseline, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var b Baseline
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&b); err != nil {
+		return nil, fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if b.Findings == nil {
+		return nil, fmt.Errorf("baseline %s: missing \"findings\" key (an empty baseline is {\"findings\": []})", path)
+	}
+	return &b, nil
+}
+
+// Filter splits findings into those not covered by the baseline (kept,
+// still failing) and those it suppresses. Multiplicity counts: one
+// entry suppresses one finding.
+func (b *Baseline) Filter(root string, findings []Finding) (kept, suppressed []Finding) {
+	budget := map[string]int{}
+	for _, e := range b.Findings {
+		budget[e.key()]++
+	}
+	for _, f := range findings {
+		k := BaselineEntry{
+			File:     RelPath(root, f.Pos.Filename),
+			Analyzer: f.Analyzer,
+			Category: f.Category,
+			Message:  f.Message,
+		}.key()
+		if budget[k] > 0 {
+			budget[k]--
+			suppressed = append(suppressed, f)
+			continue
+		}
+		kept = append(kept, f)
+	}
+	return kept, suppressed
+}

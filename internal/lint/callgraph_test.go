@@ -1,0 +1,115 @@
+package lint
+
+import (
+	"flag"
+	"go/token"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"flep/internal/lint/analysis"
+	"flep/internal/lint/loader"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files from current output")
+
+// loadCallGraphFixture builds the graph over both halves of the
+// cross-package fixture.
+func loadCallGraphFixture(t *testing.T) *callGraph {
+	t.Helper()
+	root, err := filepath.Abs("testdata")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fset := token.NewFileSet()
+	var pkgs []*loader.Package
+	for _, ip := range []string{"fixtures/callgraph/a", "fixtures/callgraph/b"} {
+		pkg, err := loader.LoadFixture(fset, root, ip, analysis.NewInfo)
+		if err != nil {
+			t.Fatalf("load fixture %s: %v", ip, err)
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return buildCallGraph(pkgs)
+}
+
+// TestCallGraphGolden pins the builder's full edge classification —
+// static calls (direct, method, cross-package), recursion, method
+// values, and function-typed field binds — against a golden dump.
+// Regenerate with `go test ./internal/lint -run CallGraphGolden -update`.
+func TestCallGraphGolden(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	got := g.dump(token.NewFileSet())
+	golden := filepath.Join("testdata", "callgraph.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("call graph dump drifted from golden.\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+// TestCallGraphRecursive pins the recursion set: direct and mutual
+// recursion are in, everything else is out.
+func TestCallGraphRecursive(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	rec := g.recursive()
+	for _, id := range []string{
+		"fixtures/callgraph/a.Rec",
+		"fixtures/callgraph/a.PingA",
+		"fixtures/callgraph/a.pingB",
+	} {
+		if !rec[id] {
+			t.Errorf("%s: expected recursive", id)
+		}
+	}
+	for _, id := range []string{
+		"fixtures/callgraph/a.Cross",
+		"fixtures/callgraph/a.Register",
+		"fixtures/callgraph/a.Run",
+		"fixtures/callgraph/b.Helper",
+	} {
+		if rec[id] {
+			t.Errorf("%s: unexpectedly recursive", id)
+		}
+	}
+}
+
+// TestCallGraphSCCOrder checks the bottom-up invariant summary-based
+// analyzers rely on: every static callee's component is emitted before
+// its caller's.
+func TestCallGraphSCCOrder(t *testing.T) {
+	g := loadCallGraphFixture(t)
+	seen := map[string]int{}
+	for i, comp := range g.sccOrder() {
+		for _, id := range comp {
+			seen[id] = i
+		}
+	}
+	for _, id := range g.Order {
+		ci, ok := seen[id]
+		if !ok {
+			t.Errorf("%s missing from sccOrder", id)
+			continue
+		}
+		for _, e := range g.Nodes[id].Edges {
+			if e.Kind != cgCall {
+				continue
+			}
+			cj, ok := seen[e.Callee]
+			if !ok {
+				continue // external callee: no node, nothing to order
+			}
+			if cj > ci {
+				t.Errorf("callee %s (comp %d) ordered after caller %s (comp %d)", e.Callee, cj, id, ci)
+			}
+		}
+	}
+}

@@ -218,3 +218,23 @@ func TestAllowAnnotations(t *testing.T) {
 		t.Errorf("got %d unsuppressed wallclock findings, want 2 (Allowed and SameLine must be suppressed):\n%v", wallclock, findings)
 	}
 }
+
+// ---------------------------------------------------- dataflow analyzers
+
+func TestPoolOwnershipFixture(t *testing.T) {
+	checkFixture(t, "fixtures/poolown", PoolOwnershipAnalyzer)
+}
+
+func TestLockOrderFixture(t *testing.T) {
+	checkFixture(t, "fixtures/lockorder", LockOrderAnalyzer)
+}
+
+// TestLockOrderContractFixture proves the declared internal/server
+// contract pair fires inside that package subtree and only there.
+func TestLockOrderContractFixture(t *testing.T) {
+	checkFixture(t, "flep/internal/server/fixturelockpair", LockOrderAnalyzer)
+}
+
+func TestLedgerFixture(t *testing.T) {
+	checkFixture(t, "flep/internal/server/fixtureledger", LedgerAnalyzer)
+}

@@ -25,6 +25,9 @@ func Analyzers() []*analysis.Analyzer {
 		LoopPurityAnalyzer,
 		LockDisciplineAnalyzer,
 		MetricHygieneAnalyzer,
+		PoolOwnershipAnalyzer,
+		LockOrderAnalyzer,
+		LedgerAnalyzer,
 	}
 }
 

@@ -1,0 +1,469 @@
+package lint
+
+// lockorder builds the module's mutex-acquisition-order graph and
+// reports anything that can deadlock — or that violates one of the
+// repo's documented lock-nesting contracts even when today's code
+// cannot deadlock yet.
+//
+// Per package (Run), every function gets a defer-aware linear walk in
+// the style of lockdiscipline: a held-lock set tracks
+// Lock/RLock/Unlock/RUnlock on canonical lock identities
+// ("pkgpath.Type.field" for struct mutexes, "pkgpath.var" for package
+// ones; locals are skipped), and the walk records each acquisition and
+// each static call together with the set held at that point. Deferred
+// Unlocks keep their region open; function literals are separate
+// anonymous scopes (their internal acquisitions still count, but they
+// do not inherit the enclosing held set, since the closure usually runs
+// elsewhere).
+//
+// Finish merges all packages, closes each function's may-acquire set
+// over the call graph, and materializes order edges: held H at an
+// acquisition of L yields H→L; held H at a call whose callee
+// may-acquire L yields H→L at the call site (caller-side attribution
+// covers chains without propagating entry contexts). Then:
+//
+//   lockcycle  — the edge participates in a strongly connected
+//     component of the order graph (including self-edges: re-acquiring
+//     a held mutex);
+//   lockinvert — a two-lock component with a dominant direction; the
+//     minority edges are reported (the likely bug is the rare path);
+//   lockpair   — the edge violates a declared contract from
+//     lockOrderContracts (never-both pairs and one-way orders), the
+//     machine-checked form of the comments in internal/server/deps.go
+//     and internal/cluster.
+//
+// Soundness caveats (DESIGN.md §11): lock identity is per-field, not
+// per-instance — two distinct Server values' mu fields are one node —
+// and the held-set walk is linear (no path sensitivity), both biased
+// toward over-reporting; dynamic calls contribute no edges, biased
+// toward under-reporting.
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+
+	"flep/internal/lint/analysis"
+)
+
+var LockOrderAnalyzer = &analysis.Analyzer{
+	Name:       "lockorder",
+	Doc:        "build the global mutex-acquisition-order graph; report cycles, inverted dominant orders, and contract violations",
+	Categories: []string{"lockcycle", "lockinvert", "lockpair"},
+	Run:        runLockOrder,
+	Finish:     finishLockOrder,
+}
+
+// lockPairKind distinguishes contract flavors.
+type lockPairKind int
+
+const (
+	pairNeverBoth lockPairKind = iota // neither may be held while acquiring the other
+	pairOrder                         // a before b; acquiring a while holding b is the violation
+)
+
+type lockRef struct {
+	pkgSub string // substring of the lock's package path
+	tail   string // "Type.field" or package var name
+}
+
+type lockContract struct {
+	kind lockPairKind
+	a, b lockRef
+	why  string
+}
+
+// lockOrderContracts is the machine-checked form of the repo's
+// documented nesting rules.
+var lockOrderContracts = []lockContract{
+	{pairNeverBoth,
+		lockRef{"internal/server", "Server.mu"}, lockRef{"internal/server", "Server.depMu"},
+		"deps.go contract: the dep-table mutex is never held together with the loop mu"},
+	{pairOrder,
+		lockRef{"internal/server", "Fleet.mu"}, lockRef{"internal/server", "Server.mu"},
+		"fleet contract: shard locks nest inside the fleet lock (route→pickShard→Load), never the reverse"},
+	{pairNeverBoth,
+		lockRef{"internal/replay", "Recorder.mu"}, lockRef{"internal/obs", "Registry.mu"},
+		"replay contract: the recorder mu must not be held across registry calls — scrape closures take it"},
+	{pairNeverBoth,
+		lockRef{"internal/cluster", "Gateway.mu"}, lockRef{"internal/server", "Server.mu"},
+		"cluster contract: the gateway node lock and an in-process shard lock must never nest"},
+}
+
+func (r lockRef) matches(lockID string) bool {
+	suffix := "." + r.tail
+	if !strings.HasSuffix(lockID, suffix) {
+		return false
+	}
+	return strings.Contains(strings.TrimSuffix(lockID, suffix), r.pkgSub)
+}
+
+// lockAcq is one acquisition site with the locks already held there.
+type lockAcq struct {
+	Lock string
+	Held []string
+	Pos  token.Pos
+}
+
+// lockCallSite is one static call with the locks held at the call.
+type lockCallSite struct {
+	Callee string
+	Held   []string
+	Pos    token.Pos
+}
+
+// lockFuncFacts is one function's contribution, keyed by funcID.
+type lockFuncFacts struct {
+	Acqs  []lockAcq
+	Calls []lockCallSite
+}
+
+// lockFacts is one package's Run result.
+type lockFacts struct {
+	Funcs map[string]*lockFuncFacts
+}
+
+func runLockOrder(pass *analysis.Pass) (any, error) {
+	facts := &lockFacts{Funcs: map[string]*lockFuncFacts{}}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+			if !ok {
+				continue
+			}
+			ff := &lockFuncFacts{}
+			walkLockRegions(pass.TypesInfo, pass.Pkg, fd.Body, map[string]bool{}, ff)
+			facts.Funcs[funcIDOf(fn)] = ff
+		}
+	}
+	return facts, nil
+}
+
+// canonicalLockID renders the mutex operand of a Lock/Unlock call to a
+// cross-function identity, or "" for locals.
+func canonicalLockID(info *types.Info, pkg *types.Package, x ast.Expr) string {
+	switch x := stripParens(x).(type) {
+	case *ast.SelectorExpr:
+		if sel, ok := info.Selections[x]; ok {
+			fld, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return ""
+			}
+			recv := sel.Recv()
+			if p, ok := recv.(*types.Pointer); ok {
+				recv = p.Elem()
+			}
+			if key := namedKey(recv); key != "" {
+				return key + "." + fld.Name()
+			}
+			return ""
+		}
+		// Qualified package var: pkg.Mu.
+		if obj, ok := info.Uses[x.Sel].(*types.Var); ok && obj.Pkg() != nil &&
+			obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	case *ast.Ident:
+		obj, ok := info.Uses[x].(*types.Var)
+		if !ok || obj.Pkg() == nil {
+			return ""
+		}
+		if obj.Parent() == obj.Pkg().Scope() {
+			return obj.Pkg().Path() + "." + obj.Name()
+		}
+	}
+	return ""
+}
+
+// lockOpOf classifies a call as a mutex operation, returning the
+// canonical lock ID and the method name.
+func lockOpOf(info *types.Info, pkg *types.Package, call *ast.CallExpr) (string, string) {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", ""
+	}
+	switch fn.Name() {
+	case "Lock", "RLock", "Unlock", "RUnlock":
+		return canonicalLockID(info, pkg, sel.X), fn.Name()
+	}
+	return "", ""
+}
+
+func heldSnapshot(held map[string]bool) []string {
+	out := make([]string, 0, len(held))
+	for k := range held {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// walkLockRegions performs the defer-aware linear held-set walk over
+// one body, recording acquisitions and static calls into ff. Function
+// literals recurse with a fresh empty held set.
+func walkLockRegions(info *types.Info, pkg *types.Package, body *ast.BlockStmt, held map[string]bool, ff *lockFuncFacts) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			walkLockRegions(info, pkg, n.Body, map[string]bool{}, ff)
+			return false
+		case *ast.GoStmt:
+			// The goroutine runs without our held set; its function
+			// literal (the common shape) is handled above when visited —
+			// record a direct `go f()` as an unheld call.
+			if fn := staticCalleeFunc(info, n.Call); fn != nil {
+				ff.Calls = append(ff.Calls, lockCallSite{Callee: funcIDOf(fn), Pos: n.Call.Pos()})
+			}
+			// `go func(){...}()` carries the literal in Fun, not Args.
+			for _, sub := range append([]ast.Expr{n.Call.Fun}, n.Call.Args...) {
+				ast.Inspect(sub, func(m ast.Node) bool {
+					if lit, ok := m.(*ast.FuncLit); ok {
+						walkLockRegions(info, pkg, lit.Body, map[string]bool{}, ff)
+						return false
+					}
+					return true
+				})
+			}
+			return false
+		case *ast.DeferStmt:
+			// A deferred Unlock keeps the region open. Other deferred
+			// calls run at exit under whatever is held then; recording
+			// them under the current held set is the linear-walk
+			// approximation (documented caveat).
+			if id, kind := lockOpOf(info, pkg, n.Call); id != "" && (kind == "Unlock" || kind == "RUnlock") {
+				return false
+			}
+			return true
+		case *ast.CallExpr:
+			if id, kind := lockOpOf(info, pkg, n); kind != "" {
+				if id == "" {
+					return true // local mutex: invisible cross-function
+				}
+				switch kind {
+				case "Lock", "RLock":
+					ff.Acqs = append(ff.Acqs, lockAcq{Lock: id, Held: heldSnapshot(held), Pos: n.Pos()})
+					held[id] = true
+				case "Unlock", "RUnlock":
+					delete(held, id)
+				}
+				return true
+			}
+			if fn := staticCalleeFunc(info, n); fn != nil {
+				ff.Calls = append(ff.Calls, lockCallSite{Callee: funcIDOf(fn), Held: heldSnapshot(held), Pos: n.Pos()})
+			}
+		}
+		return true
+	})
+}
+
+// ------------------------------------------------------------ finish
+
+// lockEdge is one order-graph edge occurrence.
+type lockEdge struct {
+	From, To string
+	Pos      token.Pos
+}
+
+func finishLockOrder(results []analysis.Result, report func(analysis.Diagnostic)) {
+	funcs := map[string]*lockFuncFacts{}
+	for _, r := range results {
+		facts, ok := r.Value.(*lockFacts)
+		if !ok || facts == nil {
+			continue
+		}
+		for id, ff := range facts.Funcs {
+			funcs[id] = ff
+		}
+	}
+
+	// may[fn] = locks fn may acquire, transitively over static calls.
+	may := map[string]map[string]bool{}
+	for id, ff := range funcs {
+		set := map[string]bool{}
+		for _, a := range ff.Acqs {
+			set[a.Lock] = true
+		}
+		may[id] = set
+	}
+	for changed := true; changed; {
+		changed = false
+		for id, ff := range funcs {
+			set := may[id]
+			for _, c := range ff.Calls {
+				for l := range may[c.Callee] {
+					if !set[l] {
+						set[l] = true
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Materialize edges.
+	var edges []lockEdge
+	for _, id := range sortedKeys(funcs) {
+		ff := funcs[id]
+		for _, a := range ff.Acqs {
+			// h == a.Lock yields a self-edge: immediate self-deadlock for
+			// sync.Mutex, writer-starvation deadlock for RWMutex readers.
+			for _, h := range a.Held {
+				edges = append(edges, lockEdge{From: h, To: a.Lock, Pos: a.Pos})
+			}
+		}
+		for _, c := range ff.Calls {
+			if len(c.Held) == 0 {
+				continue
+			}
+			for _, l := range sortedKeys(may[c.Callee]) {
+				for _, h := range c.Held {
+					edges = append(edges, lockEdge{From: h, To: l, Pos: c.Pos})
+				}
+			}
+		}
+	}
+
+	// Contract violations.
+	for _, e := range edges {
+		for _, ct := range lockOrderContracts {
+			switch ct.kind {
+			case pairNeverBoth:
+				if (ct.a.matches(e.From) && ct.b.matches(e.To)) ||
+					(ct.b.matches(e.From) && ct.a.matches(e.To)) {
+					report(analysis.Diagnostic{Pos: e.Pos, Category: "lockpair",
+						Message: fmt.Sprintf("acquires %s while holding %s — %s", shortLock(e.To), shortLock(e.From), ct.why)})
+				}
+			case pairOrder:
+				if ct.b.matches(e.From) && ct.a.matches(e.To) {
+					report(analysis.Diagnostic{Pos: e.Pos, Category: "lockpair",
+						Message: fmt.Sprintf("acquires %s while holding %s — %s", shortLock(e.To), shortLock(e.From), ct.why)})
+				}
+			}
+		}
+	}
+
+	// Cycle detection over the distinct-edge graph.
+	adj := map[string]map[string]bool{}
+	nodes := map[string]bool{}
+	for _, e := range edges {
+		nodes[e.From], nodes[e.To] = true, true
+		if adj[e.From] == nil {
+			adj[e.From] = map[string]bool{}
+		}
+		adj[e.From][e.To] = true
+	}
+	comp := lockSCC(nodes, adj)
+	for _, e := range edges {
+		if e.From == e.To {
+			report(analysis.Diagnostic{Pos: e.Pos, Category: "lockcycle",
+				Message: fmt.Sprintf("re-acquires %s while already holding it", shortLock(e.To))})
+			continue
+		}
+		if comp[e.From] != comp[e.To] || comp[e.From] == 0 {
+			continue
+		}
+		// Same non-trivial SCC: cycle. Two-lock components with a
+		// dominant direction get the sharper inversion report.
+		fwd, rev := 0, 0
+		for _, e2 := range edges {
+			if e2.From == e.From && e2.To == e.To {
+				fwd++
+			}
+			if e2.From == e.To && e2.To == e.From {
+				rev++
+			}
+		}
+		if fwd < rev {
+			report(analysis.Diagnostic{Pos: e.Pos, Category: "lockinvert",
+				Message: fmt.Sprintf("acquires %s while holding %s, inverting the dominant %s→%s order (%d sites)",
+					shortLock(e.To), shortLock(e.From), shortLock(e.To), shortLock(e.From), rev)})
+		} else {
+			report(analysis.Diagnostic{Pos: e.Pos, Category: "lockcycle",
+				Message: fmt.Sprintf("acquisition edge %s→%s closes a lock-order cycle; a concurrent inverse acquisition deadlocks",
+					shortLock(e.From), shortLock(e.To))})
+		}
+	}
+}
+
+// shortLock trims the module path prefix for readable messages.
+func shortLock(id string) string {
+	if i := strings.LastIndex(id, "/"); i >= 0 {
+		return id[i+1:]
+	}
+	return id
+}
+
+func sortedKeys[M map[string]V, V any](m M) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// lockSCC assigns a component number to every node in a non-trivial
+// strongly connected component (nodes in singleton components without a
+// self-loop get 0).
+func lockSCC(nodes map[string]bool, adj map[string]map[string]bool) map[string]int {
+	index := map[string]int{}
+	low := map[string]int{}
+	onStack := map[string]bool{}
+	var stack []string
+	comp := map[string]int{}
+	next, compID := 0, 0
+
+	var visit func(string)
+	visit = func(id string) {
+		index[id] = next
+		low[id] = next
+		next++
+		stack = append(stack, id)
+		onStack[id] = true
+		for t := range adj[id] {
+			if _, seen := index[t]; !seen {
+				visit(t)
+				if low[t] < low[id] {
+					low[id] = low[t]
+				}
+			} else if onStack[t] && index[t] < low[id] {
+				low[id] = index[t]
+			}
+		}
+		if low[id] == index[id] {
+			var members []string
+			for {
+				top := stack[len(stack)-1]
+				stack = stack[:len(stack)-1]
+				onStack[top] = false
+				members = append(members, top)
+				if top == id {
+					break
+				}
+			}
+			if len(members) > 1 {
+				compID++
+				for _, m := range members {
+					comp[m] = compID
+				}
+			}
+		}
+	}
+	for _, id := range sortedKeys(nodes) {
+		if _, seen := index[id]; !seen {
+			visit(id)
+		}
+	}
+	return comp
+}

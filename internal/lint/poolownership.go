@@ -1,0 +1,576 @@
+package lint
+
+// poolownership enforces the sync.Pool hand-off protocols the serving
+// hot path depends on (launchReqPool in internal/server/loop.go,
+// jsonEncPool in internal/server/http.go). It is the first client of
+// the interprocedural engine in interp.go: pooled values obtained from
+// pool.Get (directly or through a returns-pooled helper such as
+// getLaunchReq) are tracked through assignments, branches, and calls;
+// callee effects come from per-exit summaries, so a conditional
+// release like tryEnqueue — which consumes its argument only on the
+// nil-error exit — refines correctly at the caller's `if err != nil`.
+//
+// Categories:
+//
+//   useafterput — a pooled value is read after a path definitely
+//     returned it to the pool;
+//   doubleput   — a pooled value is Put twice on one path;
+//   putescaped  — a value that escaped (stored into a field, sent on a
+//     channel, captured by a closure, handed to a goroutine) is Put —
+//     the other holder would see a recycled object;
+//   poolleak    — a pool-originated value reaches a function exit still
+//     owned (never Put, never handed off), or was handed off in a
+//     function that normally reclaims via a channel receive and the
+//     exit path abandons the reclaim (the serveLaunch timeout shape).
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"flep/internal/lint/analysis"
+	"flep/internal/lint/loader"
+)
+
+var PoolOwnershipAnalyzer = &analysis.Analyzer{
+	Name:       "poolownership",
+	Doc:        "track sync.Pool values interprocedurally; flag use-after-Put, double Put, Put of escaped values, and leaks",
+	Categories: []string{"useafterput", "doubleput", "putescaped", "poolleak"},
+	Run:        runPoolOwnership,
+}
+
+// Abstract ownership facts (bits in pathState.facts values).
+const (
+	pfOwned    uint64 = 1 << iota // held by the current function
+	pfReleased                    // returned to the pool
+	pfEscaped                     // another holder may retain it
+	pfOrigin                      // allocated from the pool in this function
+)
+
+// Per-exit summary payload: 4 bits per parameter index.
+const (
+	ppMayRelease  = 1
+	ppMustRelease = 2
+	ppMayEscape   = 4
+	ppMustEscape  = 8
+)
+
+func mustState(bits uint64) uint64 { return bits &^ pfOrigin }
+
+type poolFuncInfo struct {
+	sum           *funcSummary
+	returnsPooled bool
+}
+
+type poolChecker struct {
+	pass     *analysis.Pass
+	info     *types.Info
+	pooled   map[string]bool // named-type keys ("pkgpath.Name") of pooled structs
+	sums     map[string]*poolFuncInfo
+	reported map[string]bool
+}
+
+func runPoolOwnership(pass *analysis.Pass) (any, error) {
+	pkg := &loader.Package{PkgPath: pass.Pkg.Path(), Files: pass.Files, Types: pass.Pkg, Info: pass.TypesInfo}
+	c := &poolChecker{
+		pass:     pass,
+		info:     pass.TypesInfo,
+		pooled:   map[string]bool{},
+		sums:     map[string]*poolFuncInfo{},
+		reported: map[string]bool{},
+	}
+	c.discoverPooled()
+	if len(c.pooled) == 0 {
+		return nil, nil
+	}
+	g := buildCallGraph([]*loader.Package{pkg})
+	rec := g.recursive()
+	for _, comp := range g.sccOrder() {
+		for _, id := range comp {
+			c.checkFunc(g.Nodes[id], !rec[id])
+		}
+	}
+	return nil, nil
+}
+
+// discoverPooled records every named type T seen in a
+// `pool.Get().(*T)` assertion on a sync.Pool value. Only those types'
+// values are tracked.
+func (c *poolChecker) discoverPooled() {
+	for _, f := range c.pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			ta, ok := n.(*ast.TypeAssertExpr)
+			if !ok || ta.Type == nil {
+				return true
+			}
+			call, ok := stripParens(ta.X).(*ast.CallExpr)
+			if !ok || !isSyncPoolMethod(c.info, call, "Get") {
+				return true
+			}
+			t := c.info.Types[ta.Type].Type
+			if p, ok := t.(*types.Pointer); ok {
+				t = p.Elem()
+			}
+			if key := namedKey(t); key != "" {
+				c.pooled[key] = true
+			}
+			return true
+		})
+	}
+}
+
+func namedKey(t types.Type) string {
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path() + "." + n.Obj().Name()
+}
+
+// isSyncPoolMethod reports whether call invokes sync.Pool's method
+// named name.
+func isSyncPoolMethod(info *types.Info, call *ast.CallExpr, name string) bool {
+	sel, ok := stripParens(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != name {
+		return false
+	}
+	s, ok := info.Selections[sel]
+	if !ok {
+		return false
+	}
+	recv := s.Recv()
+	if p, ok := recv.(*types.Pointer); ok {
+		recv = p.Elem()
+	}
+	return namedKey(recv) == "sync.Pool"
+}
+
+// pooledPointer reports whether t is *T for a discovered pooled T.
+func (c *poolChecker) pooledPointer(t types.Type) bool {
+	p, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	return c.pooled[namedKey(p.Elem())]
+}
+
+func (c *poolChecker) report(pos token.Pos, category, msg string) {
+	key := fmt.Sprintf("%d|%s|%s", pos, category, msg)
+	if c.reported[key] {
+		return
+	}
+	c.reported[key] = true
+	c.pass.Reportf(pos, category, "%s", msg)
+}
+
+// checkFunc walks one function: reports violations and (when the
+// function is non-recursive) records its summary for callers.
+func (c *poolChecker) checkFunc(node *cgNode, summarize bool) {
+	d := &poolDomain{c: c, fnEnd: node.Decl.Body.End()}
+	sig := node.Fn.Type().(*types.Signature)
+	d.nresults = sig.Results().Len()
+
+	st := newPathState()
+	params := sig.Params()
+	for i := 0; i < params.Len(); i++ {
+		p := params.At(i)
+		if !c.pooledPointer(p.Type()) {
+			continue
+		}
+		d.nextID++
+		id := d.nextID
+		d.paramVals = append(d.paramVals, paramVal{index: i, val: id})
+		st.vals[p] = id
+		st.facts[id] = pfOwned
+	}
+	d.hasChanRecv = c.bodyReclaims(node.Decl.Body)
+	d.sum = &funcSummary{}
+
+	w := newWalker(node.Pkg.Info, d, node.Decl.Body.End())
+	w.run(node.Decl.Body, st)
+
+	if summarize {
+		c.sums[node.ID] = &poolFuncInfo{sum: d.sum, returnsPooled: d.returnsPooled}
+	}
+}
+
+// bodyReclaims reports whether the body contains a receive from a
+// channel-typed field of a pooled struct — the "hand off, then wait
+// for the result" shape where abandoning the wait leaks the value.
+func (c *poolChecker) bodyReclaims(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		u, ok := n.(*ast.UnaryExpr)
+		if !ok || u.Op != token.ARROW {
+			return true
+		}
+		sel, ok := stripParens(u.X).(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if tv, ok := c.info.Types[sel.X]; ok && c.pooledPointer(tv.Type) {
+			found = true
+		}
+		return true
+	})
+	return found
+}
+
+// ------------------------------------------------------------- domain
+
+type paramVal struct {
+	index int // parameter position
+	val   int // abstract value ID
+}
+
+type poolDomain struct {
+	baseDomain
+	c         *poolChecker
+	nextID    int
+	paramVals []paramVal
+	nresults  int
+	fnEnd     token.Pos
+
+	hasChanRecv   bool
+	sum           *funcSummary
+	returnsPooled bool
+}
+
+// trackedObj resolves an expression to its tracked value ID, if any.
+func (d *poolDomain) tracked(st *pathState, e ast.Expr) (types.Object, int, bool) {
+	id, ok := stripParens(e).(*ast.Ident)
+	if !ok {
+		return nil, 0, false
+	}
+	obj := d.c.info.Uses[id]
+	if obj == nil {
+		obj = d.c.info.Defs[id]
+	}
+	if obj == nil {
+		return nil, 0, false
+	}
+	v, ok := st.vals[obj]
+	return obj, v, ok
+}
+
+func (d *poolDomain) escape(st *pathState, val int) {
+	st.facts[val] = pfEscaped | (st.facts[val] & pfOrigin)
+}
+
+func (d *poolDomain) atom(st *pathState, n ast.Node) {
+	switch e := n.(type) {
+	case *ast.Ident:
+		if _, v, ok := d.tracked(st, e); ok && mustState(st.facts[v]) == pfReleased {
+			d.c.report(e.Pos(), "useafterput", "pooled value used after it was returned to the pool")
+		}
+	case *ast.CompositeLit:
+		for _, el := range e.Elts {
+			if kv, ok := el.(*ast.KeyValueExpr); ok {
+				el = kv.Value
+			}
+			if _, v, ok := d.tracked(st, el); ok {
+				d.escape(st, v)
+			}
+		}
+	}
+}
+
+func (d *poolDomain) assign(st *pathState, as *ast.AssignStmt) {
+	if st.pendingOrigin && len(as.Rhs) == 1 && len(as.Lhs) >= 1 {
+		if id, ok := stripParens(as.Lhs[0]).(*ast.Ident); ok && id.Name != "_" {
+			obj := d.c.info.Defs[id]
+			if obj == nil {
+				obj = d.c.info.Uses[id]
+			}
+			// Only a pooled-pointer LHS receives the origin: in
+			// `err := f(mkReq())` the pending origin from the inner
+			// call must not stick to the outer call's error result.
+			if obj != nil && d.c.pooledPointer(obj.Type()) {
+				d.nextID++
+				st.vals[obj] = d.nextID
+				st.facts[d.nextID] = pfOwned | pfOrigin
+			}
+		}
+		return
+	}
+	if len(as.Lhs) != len(as.Rhs) {
+		return
+	}
+	for i, l := range as.Lhs {
+		l = stripParens(l)
+		_, rv, rok := d.tracked(st, as.Rhs[i])
+		switch lhs := l.(type) {
+		case *ast.Ident:
+			if lhs.Name == "_" {
+				continue
+			}
+			obj := d.c.info.Defs[lhs]
+			if obj == nil {
+				obj = d.c.info.Uses[lhs]
+			}
+			if obj == nil {
+				continue
+			}
+			// A package-level variable is globally reachable: storing
+			// there escapes, it does not alias.
+			if v, ok := obj.(*types.Var); ok && v.Pkg() != nil && v.Parent() == v.Pkg().Scope() {
+				if rok {
+					d.escape(st, rv)
+				}
+				continue
+			}
+			if rok {
+				st.vals[obj] = rv // alias
+			} else {
+				delete(st.vals, obj) // rebound to an untracked value
+			}
+		case *ast.SelectorExpr, *ast.IndexExpr:
+			if rok {
+				d.escape(st, rv) // stored into a field or element
+			}
+		}
+	}
+}
+
+func (d *poolDomain) send(st *pathState, s *ast.SendStmt) {
+	if _, v, ok := d.tracked(st, s.Value); ok {
+		d.escape(st, v)
+	}
+}
+
+func (d *poolDomain) recv(st *pathState, x ast.Expr) {
+	sel, ok := stripParens(x).(*ast.SelectorExpr)
+	if !ok {
+		return
+	}
+	if _, v, ok := d.tracked(st, sel.X); ok {
+		// Receiving from the pooled value's own channel field is the
+		// hand-back: the sender is done with it, ownership returns here.
+		st.facts[v] = pfOwned | (st.facts[v] & pfOrigin)
+	}
+}
+
+func (d *poolDomain) funcLit(st *pathState, lit *ast.FuncLit) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		obj := d.c.info.Uses[id]
+		if obj == nil {
+			return true
+		}
+		if v, ok := st.vals[obj]; ok {
+			d.escape(st, v)
+		}
+		return true
+	})
+}
+
+func (d *poolDomain) goStmt(st *pathState, call *ast.CallExpr) {
+	for _, a := range call.Args {
+		if _, v, ok := d.tracked(st, a); ok {
+			d.escape(st, v)
+		}
+	}
+}
+
+func (d *poolDomain) call(in []*pathState, call *ast.CallExpr, w *walker) []*pathState {
+	info := d.c.info
+
+	// sync.Pool.Get: mark the pending result as a pool origin.
+	if isSyncPoolMethod(info, call, "Get") {
+		in = w.walkCallArgs(in, call, nil)
+		for _, st := range in {
+			st.pendingOrigin = true
+		}
+		return in
+	}
+
+	// sync.Pool.Put(x): the direct release.
+	if isSyncPoolMethod(info, call, "Put") && len(call.Args) == 1 {
+		skip := map[ast.Expr]bool{call.Args[0]: true}
+		in = w.walkCallArgs(in, call, skip)
+		for _, st := range in {
+			_, v, ok := d.tracked(st, call.Args[0])
+			if !ok {
+				continue
+			}
+			switch mustState(st.facts[v]) {
+			case pfReleased:
+				d.c.report(call.Pos(), "doubleput", "pooled value Put twice on this path")
+			case pfEscaped:
+				d.c.report(call.Pos(), "putescaped", "pooled value Put after it escaped; another holder may still use it")
+			default:
+				st.facts[v] = pfReleased | (st.facts[v] & pfOrigin)
+			}
+		}
+		return in
+	}
+
+	// Builtin append: retaining a tracked value in a slice is an escape.
+	if id, ok := stripParens(call.Fun).(*ast.Ident); ok && info.Uses[id] == nil &&
+		(id.Name == "append" || id.Name == "copy") {
+		in = w.walkCallArgs(in, call, nil)
+		for _, st := range in {
+			for _, a := range call.Args {
+				if _, v, ok := d.tracked(st, a); ok {
+					d.escape(st, v)
+				}
+			}
+		}
+		return in
+	}
+
+	fn := staticCalleeFunc(info, call)
+	var fi *poolFuncInfo
+	if fn != nil {
+		fi = d.c.sums[funcIDOf(fn)]
+	}
+	if fi == nil {
+		// Unknown callee (external, dynamic, or recursive): any tracked
+		// argument may be retained — may-escape, killing later
+		// must-owned leak reports for it.
+		in = w.walkCallArgs(in, call, nil)
+		for _, st := range in {
+			for _, a := range call.Args {
+				if _, v, ok := d.tracked(st, a); ok {
+					st.facts[v] |= pfEscaped
+				}
+			}
+		}
+		return in
+	}
+
+	// Summarized same-package callee. Skip the use-check on arguments
+	// the callee releases on every exit (the release IS the use), then
+	// check release-protocol violations and fork per exit group.
+	mustReleaseAll := make(map[int]bool)
+	mayRelease := make(map[int]bool)
+	for i := 0; i < len(call.Args) && i < 8; i++ {
+		must := len(fi.sum.exits) > 0
+		may := false
+		for _, ex := range fi.sum.exits {
+			b := (ex.payload >> (4 * i)) & 0xf
+			if b&ppMustRelease == 0 {
+				must = false
+			}
+			if b&ppMayRelease != 0 {
+				may = true
+			}
+		}
+		mustReleaseAll[i] = must
+		mayRelease[i] = may
+	}
+	skip := map[ast.Expr]bool{}
+	for i, a := range call.Args {
+		if mustReleaseAll[i] {
+			skip[a] = true
+		}
+	}
+	in = w.walkCallArgs(in, call, skip)
+	for _, st := range in {
+		for i, a := range call.Args {
+			if !mayRelease[i] {
+				continue
+			}
+			if _, v, ok := d.tracked(st, a); ok {
+				switch mustState(st.facts[v]) {
+				case pfReleased:
+					d.c.report(call.Pos(), "doubleput", "pooled value passed to a releasing function after it was already returned to the pool")
+				case pfEscaped:
+					d.c.report(call.Pos(), "putescaped", "escaped pooled value passed to a releasing function")
+				}
+			}
+		}
+	}
+	out := w.forkSummary(in, call, fi.sum, func(st *pathState, ex *sumExit) {
+		for i, a := range call.Args {
+			if i >= 8 {
+				break
+			}
+			_, v, ok := d.tracked(st, a)
+			if !ok {
+				continue
+			}
+			b := (ex.payload >> (4 * i)) & 0xf
+			if b&ppMustRelease != 0 {
+				st.facts[v] = pfReleased | (st.facts[v] & pfOrigin)
+			} else if b&ppMayRelease != 0 {
+				st.facts[v] |= pfReleased
+			}
+			if b&ppMustEscape != 0 {
+				st.facts[v] = pfEscaped | (st.facts[v] & pfOrigin)
+			} else if b&ppMayEscape != 0 {
+				st.facts[v] |= pfEscaped
+			}
+		}
+	})
+	if fi.returnsPooled {
+		for _, st := range out {
+			st.pendingOrigin = true
+		}
+	}
+	return out
+}
+
+func (d *poolDomain) exit(st *pathState, ret *ast.ReturnStmt, pos token.Pos) {
+	// Returning a tracked value transfers ownership to the caller.
+	if ret != nil {
+		// `return pool.Get().(*T)` / `return getX()`: the origin is the
+		// statement's own pending call result, handed straight out.
+		if st.pendingOrigin {
+			d.returnsPooled = true
+		}
+		for _, r := range ret.Results {
+			if _, v, ok := d.tracked(st, r); ok {
+				if st.facts[v]&pfOrigin != 0 {
+					d.returnsPooled = true
+				}
+				d.escape(st, v)
+			}
+		}
+	}
+
+	// Record this exit in the function summary.
+	var payload uint64
+	for _, pv := range d.paramVals {
+		if pv.index >= 8 {
+			continue
+		}
+		bits := st.facts[pv.val]
+		var b uint64
+		if bits&pfReleased != 0 {
+			b |= ppMayRelease
+		}
+		if mustState(bits) == pfReleased {
+			b |= ppMustRelease
+		}
+		if bits&pfEscaped != 0 {
+			b |= ppMayEscape
+		}
+		if mustState(bits) == pfEscaped {
+			b |= ppMustEscape
+		}
+		payload |= b << (4 * pv.index)
+	}
+	d.sum.addExit(resolveResults(d.c.info, d.nresults, ret), payload)
+
+	// Leak check: pool-originated values must not be live-and-owned at
+	// exit; and in a function that reclaims via a channel receive, an
+	// exit that abandons a handed-off value leaks it just the same.
+	for _, bits := range st.facts {
+		if bits&pfOrigin == 0 {
+			continue
+		}
+		switch mustState(bits) {
+		case pfOwned:
+			d.c.report(pos, "poolleak", "pool-originated value still owned at function exit (no Put on this path)")
+		case pfEscaped:
+			if d.hasChanRecv {
+				d.c.report(pos, "poolleak", "pool-originated value abandoned after hand-off: this exit path never reclaims it")
+			}
+		}
+	}
+}

@@ -1,0 +1,40 @@
+// Package a exercises the call-graph builder's edge classification:
+// static calls (direct, method, cross-package), self- and mutual
+// recursion, method values, and function-typed field binds whose later
+// dynamic calls stay unresolved.
+package a
+
+import "fixtures/callgraph/b"
+
+// Rec is self-recursive.
+func Rec(n int) int {
+	if n == 0 {
+		return 0
+	}
+	return Rec(n - 1)
+}
+
+// PingA and pingB are mutually recursive: one SCC.
+func PingA() { pingB() }
+func pingB() { PingA() }
+
+type S struct{ closed bool }
+
+func (s *S) Close() { s.closed = true }
+
+// MethodValue returns s.Close as a value: a bind edge, not a call.
+func MethodValue(s *S) func() { return s.Close }
+
+// Node carries an On*-style callback field.
+type Node struct{ OnFire func() }
+
+func fire() {}
+
+// Register binds fire into the field (bind edge); Run's dynamic call
+// through the field contributes no edge.
+func Register(n *Node) { n.OnFire = fire }
+
+func Run(n *Node) { n.OnFire() }
+
+// Cross statically calls into the sibling package.
+func Cross() { b.Helper() }

@@ -1,0 +1,4 @@
+// Package b is the cross-package callee half of the call-graph fixture.
+package b
+
+func Helper() {}

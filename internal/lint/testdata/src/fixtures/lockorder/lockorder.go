@@ -1,0 +1,105 @@
+// Package lockorder exercises the lock-order graph analyzer: self
+// re-acquisition, a balanced two-lock cycle (both directions reported),
+// an inverted dominant order (the minority site gets the sharper
+// report), and clean shapes — consistent nesting, defer-held regions,
+// and goroutine hand-offs that drop the held set.
+package lockorder
+
+import "sync"
+
+type A struct{ mu sync.Mutex }
+
+// Reacquire self-deadlocks immediately.
+func Reacquire(a *A) {
+	a.mu.Lock()
+	a.mu.Lock() // want `lockcycle re-acquires lockorder.A.mu while already holding it`
+	a.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ------------------------------------------------- balanced C/D cycle
+
+type C struct{ mu sync.Mutex }
+type D struct{ mu sync.Mutex }
+
+// CycleForward and CycleBackward close a C.mu/D.mu cycle with one site
+// each way; with no dominant direction both edges report as cycles.
+func CycleForward(c *C, d *D) {
+	c.mu.Lock()
+	d.mu.Lock() // want `lockcycle acquisition edge lockorder.C.mu→lockorder.D.mu closes a lock-order cycle`
+	d.mu.Unlock()
+	c.mu.Unlock()
+}
+
+// CycleBackward nests through a helper: the edge comes from the
+// transitive may-acquire closure, attributed to the call site.
+func CycleBackward(c *C, d *D) {
+	d.mu.Lock()
+	lockC(c) // want `lockcycle acquisition edge lockorder.D.mu→lockorder.C.mu closes a lock-order cycle`
+	d.mu.Unlock()
+}
+
+func lockC(c *C) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+// ------------------------------------------- inverted E/F dominant order
+
+type E struct{ mu sync.Mutex }
+type F struct{ mu sync.Mutex }
+
+func DominantOne(e *E, f *F) {
+	e.mu.Lock()
+	f.mu.Lock() // want `lockcycle acquisition edge lockorder.E.mu→lockorder.F.mu closes a lock-order cycle`
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func DominantTwo(e *E, f *F) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock() // want `lockcycle acquisition edge lockorder.E.mu→lockorder.F.mu closes a lock-order cycle`
+	f.mu.Unlock()
+}
+
+// Minority inverts the two-site dominant E→F order; the rare path is
+// the likely bug, so it gets the inversion report.
+func Minority(e *E, f *F) {
+	f.mu.Lock()
+	e.mu.Lock() // want `lockinvert acquires lockorder.E.mu while holding lockorder.F.mu, inverting the dominant lockorder.E.mu→lockorder.F.mu order \(2 sites\)`
+	e.mu.Unlock()
+	f.mu.Unlock()
+}
+
+// --------------------------------------------------------------- clean
+
+type G struct{ mu sync.Mutex }
+type H struct{ mu sync.Mutex }
+
+// CleanNestedDefer and CleanNestedInline nest G→H consistently: the
+// order graph stays acyclic, so both are silent.
+func CleanNestedDefer(g *G, h *H) {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	h.mu.Lock()
+	defer h.mu.Unlock()
+}
+
+func CleanNestedInline(g *G, h *H) {
+	g.mu.Lock()
+	h.mu.Lock()
+	h.mu.Unlock()
+	g.mu.Unlock()
+}
+
+// CleanGoroutine: the literal runs without the caller's held set, so
+// H.mu inside it does not nest under G.mu — no reverse edge, silence.
+func CleanGoroutine(g *G, h *H) {
+	h.mu.Lock()
+	go func() {
+		g.mu.Lock()
+		g.mu.Unlock()
+	}()
+	h.mu.Unlock()
+}

@@ -1,0 +1,116 @@
+// Package poolown exercises the poolownership analyzer: sync.Pool
+// values tracked interprocedurally through returns-pooled helpers,
+// releasing helpers, conditional consumers, and channel hand-offs.
+package poolown
+
+import (
+	"errors"
+	"sync"
+)
+
+type buf struct {
+	data []byte
+	done chan int
+}
+
+var bufPool = sync.Pool{New: func() any { return &buf{done: make(chan int, 1)} }}
+
+// getBuf hands the pooled value straight out of Get; callers become
+// owners (the return itself is clean: ownership transfers).
+func getBuf() *buf { return bufPool.Get().(*buf) }
+
+// putBuf releases on every exit, so its summary is must-release.
+func putBuf(b *buf) { bufPool.Put(b) }
+
+var errFull = errors.New("full")
+
+// send consumes b only on the nil-error exit; its per-exit summary
+// lets callers keep the error path's ownership.
+func send(ch chan *buf, b *buf, full bool) error {
+	if full {
+		return errFull
+	}
+	ch <- b
+	return nil
+}
+
+// ---------------------------------------------------------- violations
+
+func UseAfterPut() int {
+	b := getBuf()
+	putBuf(b)
+	return len(b.data) // want `useafterput pooled value used after it was returned to the pool`
+}
+
+func DoublePutDirect() {
+	b := getBuf()
+	bufPool.Put(b)
+	bufPool.Put(b) // want `doubleput pooled value Put twice on this path`
+}
+
+func DoublePutHelper() {
+	b := getBuf()
+	putBuf(b)
+	putBuf(b) // want `doubleput pooled value passed to a releasing function after it was already returned to the pool`
+}
+
+var stash *buf
+
+func PutEscaped() {
+	b := getBuf()
+	stash = b
+	bufPool.Put(b) // want `putescaped pooled value Put after it escaped; another holder may still use it`
+}
+
+func LeakOnError(fail bool) error {
+	b := getBuf()
+	if fail {
+		return errFull // want `poolleak pool-originated value still owned at function exit \(no Put on this path\)`
+	}
+	putBuf(b)
+	return nil
+}
+
+// AbandonHandoff hands b off and normally reclaims it from b.done; the
+// timeout arm walks away, orphaning the recycled value.
+func AbandonHandoff(ch chan *buf, timeout chan int) {
+	b := getBuf()
+	ch <- b
+	select {
+	case <-b.done:
+		putBuf(b)
+	case <-timeout: // want `poolleak pool-originated value abandoned after hand-off: this exit path never reclaims it`
+	}
+}
+
+// --------------------------------------------------------------- clean
+
+// CleanRoundTrip is the basic get/use/put protocol.
+func CleanRoundTrip() int {
+	b := getBuf()
+	n := len(b.data)
+	putBuf(b)
+	return n
+}
+
+// CleanConditionalConsume reclaims on the error path and waits out the
+// hand-off on success — the serveLaunch shape, done right. The
+// conditional summary of send plus `err != nil` narrowing keeps both
+// paths clean.
+func CleanConditionalConsume(ch chan *buf, full bool) {
+	b := getBuf()
+	if err := send(ch, b, full); err != nil {
+		putBuf(b)
+		return
+	}
+	<-b.done
+	putBuf(b)
+}
+
+// CleanDeferredPut releases through a defer; the engine runs deferred
+// calls at every exit before the leak check.
+func CleanDeferredPut() int {
+	b := getBuf()
+	defer putBuf(b)
+	return len(b.data)
+}

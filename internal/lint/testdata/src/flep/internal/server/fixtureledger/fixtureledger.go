@@ -1,0 +1,92 @@
+// Package fixtureledger exercises the exactly-once admission ledger on
+// a miniature Server: an entry-point path that forgets its terminal
+// counter, a path that counts two families, an entry that counts a
+// family outside its contract, a dep-layer function touching the core
+// ledger directly — and the clean conditional shapes (helper summaries,
+// at-most-one entries) that must stay silent.
+package fixtureledger
+
+type counters struct {
+	Enqueued        int64
+	Completed       int64
+	SubmitErrors    int64
+	RejectedFull    int64
+	RejectedShed    int64
+	RejectedInvalid int64
+}
+
+type Server struct {
+	c    counters
+	full bool
+}
+
+// ---------------------------------------------------------- violations
+
+// handleLaunch forgets to account the full-queue path.
+func (s *Server) handleLaunch(valid bool) {
+	if !valid {
+		s.c.RejectedInvalid++
+		return
+	}
+	if s.full {
+		return // want `ledgermissing handleLaunch: this path increments no terminal-outcome counter; every admission path must account exactly one`
+	}
+	s.c.Enqueued++
+}
+
+// rejectLaunch counts the shed path twice: once as full, once as shed.
+func (s *Server) rejectLaunch(shed bool) {
+	s.c.RejectedFull++
+	if shed {
+		s.c.RejectedShed++
+		return // want `ledgerdouble rejectLaunch: this path increments 2 terminal-outcome families \(rejected_full\+rejected_shed\); the exactly-once ledger allows one`
+	}
+}
+
+// complete books the failure under submit_errors, which belongs to the
+// admit boundary, not the completion one.
+func (s *Server) complete(ok bool) {
+	if !ok {
+		s.c.SubmitErrors++
+		return // want `ledgerforbidden complete: this path increments submit_errors, outside the entry point's contract \(completed\)`
+	}
+	s.c.Completed++
+}
+
+// depStageDone is dep-table maintenance; the stages it releases belong
+// to other requests, so counting Enqueued here double-books them.
+func (s *Server) depStageDone() {
+	s.c.Enqueued++ // want `ledgerforbidden depStageDone increments core ledger counter enqueued directly; released stages re-enter the ledger only through the sanctioned admission boundary`
+}
+
+// --------------------------------------------------------------- clean
+
+// serveLaunch routes every path through exactly one family, two of them
+// via helper summaries.
+func (s *Server) serveLaunch(valid bool) {
+	if !valid {
+		s.countInvalid()
+		return
+	}
+	if s.full {
+		s.rejectFull()
+		return
+	}
+	s.c.Enqueued++
+}
+
+// countInvalid is itself an entry with the rejected_invalid contract.
+func (s *Server) countInvalid() {
+	s.c.RejectedInvalid++
+}
+
+func (s *Server) rejectFull() {
+	s.c.RejectedFull++
+}
+
+// admit is at-most-one: the success outcome is deferred to completion.
+func (s *Server) admit(fail bool) {
+	if fail {
+		s.c.SubmitErrors++
+	}
+}

@@ -1,0 +1,56 @@
+// Package fixturelockpair proves the declared internal/server nesting
+// contract — Server.mu and Server.depMu are never held together — fires
+// on the nested shapes (direct and through a helper) and stays silent
+// on the sequential one. The matcher keys on the package path and the
+// Type.field tail, so this fixture package under internal/server/ hits
+// the same contract as the real deps.go.
+package fixturelockpair
+
+import "sync"
+
+type Server struct {
+	mu    sync.Mutex
+	depMu sync.Mutex
+	n     int
+}
+
+// BadNested holds the loop mu across a dep-table acquisition.
+func (s *Server) BadNested() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.depMu.Lock() // want `lockpair acquires fixturelockpair.Server.depMu while holding fixturelockpair.Server.mu — deps.go contract: the dep-table mutex is never held together with the loop mu`
+	s.n++
+	s.depMu.Unlock()
+}
+
+// BadInterprocedural reaches the dep mu through a helper; the edge is
+// attributed to the call made while mu is held.
+func (s *Server) BadInterprocedural() {
+	s.mu.Lock()
+	s.bumpDep() // want `lockpair acquires fixturelockpair.Server.depMu while holding fixturelockpair.Server.mu`
+	s.mu.Unlock()
+}
+
+func (s *Server) bumpDep() {
+	s.depMu.Lock()
+	s.n++
+	s.depMu.Unlock()
+}
+
+// CleanSequential takes the two in sequence, never nested.
+func (s *Server) CleanSequential() {
+	s.depMu.Lock()
+	s.n++
+	s.depMu.Unlock()
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+}
+
+// CleanHelperAfterRelease calls the dep helper only after dropping mu.
+func (s *Server) CleanHelperAfterRelease() {
+	s.mu.Lock()
+	s.n++
+	s.mu.Unlock()
+	s.bumpDep()
+}

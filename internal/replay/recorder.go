@@ -92,18 +92,25 @@ func NewRecorder(path string, hdr Header, opts RecorderOptions) (*Recorder, erro
 // Bind registers the recorder's drop/flush instrumentation on a metrics
 // registry. Call at most once per registry.
 func (r *Recorder) Bind(reg *obs.Registry) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	r.records = reg.Counter("flep_recorder_records_total", "Launch records appended to the trace")
-	r.dropped = reg.Counter("flep_recorder_dropped_total", "Launch records lost to write or rotation errors")
-	r.flushes = reg.Counter("flep_recorder_flushes_total", "Explicit trace buffer flushes")
-	r.rotations = reg.Counter("flep_recorder_rotations_total", "Trace file rotations")
+	// Register before taking r.mu: a concurrent scrape holds the
+	// registry mutex while calling the gauge closure below, which takes
+	// r.mu — registering under r.mu would invert that order.
+	records := reg.Counter("flep_recorder_records_total", "Launch records appended to the trace")
+	dropped := reg.Counter("flep_recorder_dropped_total", "Launch records lost to write or rotation errors")
+	flushes := reg.Counter("flep_recorder_flushes_total", "Explicit trace buffer flushes")
+	rotations := reg.Counter("flep_recorder_rotations_total", "Trace file rotations")
 	reg.GaugeFunc("flep_recorder_segment_bytes", "Bytes written to the current trace segment",
 		func() float64 {
 			r.mu.Lock()
 			defer r.mu.Unlock()
 			return float64(r.segBytes)
 		})
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.records = records
+	r.dropped = dropped
+	r.flushes = flushes
+	r.rotations = rotations
 }
 
 // openSegment opens a fresh file at r.path and writes the header line.

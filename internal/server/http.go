@@ -147,9 +147,11 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	}
 	w.WriteHeader(code)
 	_, _ = w.Write(e.buf.Bytes())
-	if e.buf.Cap() <= jsonEncKeepBytes {
-		jsonEncPool.Put(e)
+	if e.buf.Cap() > jsonEncKeepBytes {
+		//flepvet:allow poolleak -- oversized buffer dropped on purpose so one giant dump cannot pin its backing array in the pool
+		return
 	}
+	jsonEncPool.Put(e)
 }
 
 // Handler returns the daemon's HTTP API.
@@ -337,6 +339,7 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 			return
 		}
 		writeJSON(w, http.StatusOK, &res)
+	//flepvet:allow poolleak -- timeout abandons the wait on purpose; the loop still owns q (see comment below) so recycling here would be a use-after-free
 	case <-timer.C:
 		// q is deliberately NOT recycled on the timeout and cancel paths:
 		// the loop (or the dependency table) still owns it until the
@@ -350,6 +353,7 @@ func (s *Server) serveLaunch(w http.ResponseWriter, r *http.Request, req LaunchR
 		s.mu.Unlock()
 		writeJSON(w, http.StatusGatewayTimeout,
 			apiError{"timed out waiting for completion; the invocation still runs to completion"})
+	//flepvet:allow poolleak -- client cancel abandons the wait; ownership of q stays with the loop, same as the timeout arm
 	case <-r.Context().Done():
 		// The launch was accepted, so the session exists; record the
 		// abandonment there too, or /v1/sessions cannot tell a canceled

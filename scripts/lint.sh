@@ -3,23 +3,40 @@
 # This is the single lint entrypoint: CI runs it as a blocking step and
 # developers run it locally before pushing. Two passes:
 #
-#   1. standalone (`flepvet ./...`) — whole-program, so metrichygiene's
-#      cross-package family checks see every registration site at once;
+#   1. standalone (`flepvet ./...`) — whole-program, so the
+#      cross-package rules (metrichygiene's family coherence, lockorder's
+#      global acquisition-order graph) see every site at once;
 #   2. `go vet -vettool` — the unitchecker protocol, which additionally
 #      analyzes _test.go files and proves the vet integration works.
 #
-# Exit nonzero on any finding. Suppressions are //flepvet:allow with a
-# mandatory reason (see DESIGN.md §11).
+# The standalone pass applies the committed baseline
+# (.flepvet-baseline.json): findings listed there are tolerated during a
+# migration window; everything else fails the build. The committed
+# baseline is empty by policy (TestCommittedBaselineIsEmpty).
+#
+# Usage:
+#   ./scripts/lint.sh             # plain findings, nonzero exit on any
+#   ./scripts/lint.sh --annotate  # also emit GitHub Actions ::error
+#                                 # annotations so findings land on the
+#                                 # PR diff
+#
+# Suppressions are //flepvet:allow with a mandatory reason (DESIGN.md §11).
 set -euo pipefail
 cd "$(dirname "$0")/.."
+
+ANNOTATE=""
+if [[ "${1:-}" == "--annotate" ]]; then
+  ANNOTATE="-annotate"
+  shift
+fi
 
 FLEPVET="$(mktemp -d)/flepvet"
 trap 'rm -rf "$(dirname "$FLEPVET")"' EXIT
 
 go build -o "$FLEPVET" ./cmd/flepvet
 
-echo "==> flepvet ./... (standalone, cross-package)"
-"$FLEPVET" ./...
+echo "==> flepvet ./... (standalone, cross-package, baseline-gated)"
+"$FLEPVET" $ANNOTATE -baseline .flepvet-baseline.json ./...
 
 echo "==> go vet -vettool=flepvet ./... (unitchecker, includes tests)"
 go vet -vettool="$FLEPVET" ./...
